@@ -1,0 +1,404 @@
+//! [`SolverContext`]: the shared read-only state every solver runs
+//! against — instance, utility model and spatial indexes.
+
+use muaa_core::{
+    AdType, AdTypeId, Customer, CustomerId, Money, ProblemInstance, UtilityModel, Vendor, VendorId,
+};
+use muaa_spatial::{GridIndex, VendorIndex};
+
+/// Read-only solver state: the problem instance, the utility model, and
+/// (optionally) grid indexes over customer and vendor locations.
+///
+/// Two construction modes:
+///
+/// * [`SolverContext::indexed`] — builds the grids; correct whenever
+///   the model's `distance` is (clamped) Euclidean distance between the
+///   stored locations, i.e. for
+///   [`PearsonUtility`](muaa_core::PearsonUtility). The grid serves as
+///   a candidate pre-filter; the model's distance remains the
+///   authoritative validity check.
+/// * [`SolverContext::brute_force`] — no indexes; validity scans all
+///   entities. Required for [`TableUtility`](muaa_core::TableUtility)
+///   and other non-geometric distance models; fine for small instances.
+pub struct SolverContext<'a> {
+    instance: &'a ProblemInstance,
+    model: &'a dyn UtilityModel,
+    customer_grid: Option<GridIndex>,
+    vendor_index: Option<VendorIndex>,
+}
+
+impl<'a> SolverContext<'a> {
+    /// Build a context with spatial indexes (Euclidean models only; see
+    /// the type docs).
+    pub fn indexed(instance: &'a ProblemInstance, model: &'a dyn UtilityModel) -> Self {
+        let customer_points = instance.customers().iter().map(|c| c.location).collect();
+        let mean_radius = instance.stats().mean_radius.max(1e-6);
+        let customer_grid = Some(GridIndex::new(customer_points, mean_radius));
+        let vendor_index = Some(VendorIndex::new(instance.vendors()));
+        SolverContext {
+            instance,
+            model,
+            customer_grid,
+            vendor_index,
+        }
+    }
+
+    /// Build a context without spatial indexes (any distance model).
+    pub fn brute_force(instance: &'a ProblemInstance, model: &'a dyn UtilityModel) -> Self {
+        SolverContext {
+            instance,
+            model,
+            customer_grid: None,
+            vendor_index: None,
+        }
+    }
+
+    /// The problem instance.
+    #[inline]
+    pub fn instance(&self) -> &'a ProblemInstance {
+        self.instance
+    }
+
+    /// The utility model.
+    #[inline]
+    pub fn model(&self) -> &'a dyn UtilityModel {
+        self.model
+    }
+
+    /// `true` iff the pair satisfies the spatial constraint
+    /// `d(u_i, v_j) ≤ r_j` under the model's distance.
+    pub fn pair_valid(&self, cid: CustomerId, vid: VendorId) -> bool {
+        let c = self.instance.customer(cid);
+        let v = self.instance.vendor(vid);
+        self.model.distance(cid, c, vid, v) <= v.radius
+    }
+
+    /// The valid customers `U_j` of a vendor (paper Alg. 1 line 3).
+    pub fn valid_customers(&self, vid: VendorId) -> Vec<CustomerId> {
+        let v = self.instance.vendor(vid);
+        match &self.customer_grid {
+            Some(grid) => {
+                let mut pre = Vec::new();
+                grid.range_query_into(v.location, v.radius, &mut pre);
+                pre.into_iter()
+                    .map(CustomerId::from)
+                    .filter(|&cid| self.pair_valid(cid, vid))
+                    .collect()
+            }
+            None => self
+                .instance
+                .customers_enumerated()
+                .map(|(cid, _)| cid)
+                .filter(|&cid| self.pair_valid(cid, vid))
+                .collect(),
+        }
+    }
+
+    /// The valid vendors `V'` of a customer (paper Alg. 2 line 2).
+    pub fn valid_vendors(&self, cid: CustomerId) -> Vec<VendorId> {
+        let c = self.instance.customer(cid);
+        match &self.vendor_index {
+            Some(index) => {
+                let mut pre = Vec::new();
+                index.covering_into(c.location, &mut pre);
+                pre.retain(|&vid| self.pair_valid(cid, vid));
+                pre
+            }
+            None => self
+                .instance
+                .vendors_enumerated()
+                .map(|(vid, _)| vid)
+                .filter(|&vid| self.pair_valid(cid, vid))
+                .collect(),
+        }
+    }
+
+    /// Vendor ids sorted by model distance from the customer, nearest
+    /// first, restricted to valid (covering) vendors — the NEAREST
+    /// baseline's candidate order.
+    pub fn vendors_by_distance(&self, cid: CustomerId) -> Vec<VendorId> {
+        let c = self.instance.customer(cid);
+        let mut valid = self.valid_vendors(cid);
+        valid.sort_by(|&a, &b| {
+            let da = self.model.distance(cid, c, a, self.instance.vendor(a));
+            let db = self.model.distance(cid, c, b, self.instance.vendor(b));
+            da.partial_cmp(&db)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        valid
+    }
+
+    /// The pair's *base utility* `p_i · s(u_i,v_j,φ) / d(u_i,v_j,φ)`:
+    /// Eq. (4) without the ad-type factor. `λ_ijk = base · β_k`, so
+    /// callers evaluating several ad types per pair compute this once.
+    pub fn pair_base(&self, cid: CustomerId, vid: VendorId) -> f64 {
+        let c = self.instance.customer(cid);
+        let v = self.instance.vendor(vid);
+        let d = self.model.distance(cid, c, vid, v);
+        if d <= 0.0 || d.is_nan() || d.is_infinite() {
+            return 0.0;
+        }
+        c.view_probability * self.model.similarity(cid, c, vid, v) / d
+    }
+
+    /// Utility `λ_ijk` from a precomputed [`pair_base`](Self::pair_base).
+    #[inline]
+    pub fn utility_from_base(&self, base: f64, ad: AdTypeId) -> f64 {
+        base * self.instance.ad_type(ad).effectiveness
+    }
+
+    /// Budget efficiency `γ_ijk` from a precomputed pair base.
+    #[inline]
+    pub fn efficiency_from_base(&self, base: f64, ad: AdTypeId) -> f64 {
+        let t = self.instance.ad_type(ad);
+        base * t.effectiveness / t.cost.as_dollars()
+    }
+
+    /// Utility `λ_ijk` of a full triple.
+    pub fn utility(&self, cid: CustomerId, vid: VendorId, ad: AdTypeId) -> f64 {
+        self.utility_from_base(self.pair_base(cid, vid), ad)
+    }
+
+    /// Budget efficiency `γ_ijk` of a full triple.
+    pub fn efficiency(&self, cid: CustomerId, vid: VendorId, ad: AdTypeId) -> f64 {
+        self.efficiency_from_base(self.pair_base(cid, vid), ad)
+    }
+
+    /// The "best" ad type for a pair under a remaining budget: the
+    /// affordable type with the highest budget efficiency (paper
+    /// Alg. 2 line 4). Returns `(ad type, λ, γ)`; `None` when nothing
+    /// affordable has positive utility.
+    pub fn best_ad_type(
+        &self,
+        cid: CustomerId,
+        vid: VendorId,
+        remaining: Money,
+    ) -> Option<(AdTypeId, f64, f64)> {
+        let base = self.pair_base(cid, vid);
+        if base <= 0.0 {
+            return None;
+        }
+        let mut best: Option<(AdTypeId, f64, f64)> = None;
+        for (tid, t) in self.instance.ad_types_enumerated() {
+            if t.cost > remaining {
+                continue;
+            }
+            let lambda = base * t.effectiveness;
+            let gamma = lambda / t.cost.as_dollars();
+            if lambda <= 0.0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, _, bg)) => gamma > bg,
+            };
+            if better {
+                best = Some((tid, lambda, gamma));
+            }
+        }
+        best
+    }
+
+    /// Like [`best_ad_type`](Self::best_ad_type) but maximizing utility
+    /// `λ` instead of efficiency `γ` — what NEAREST uses once the
+    /// vendor is fixed.
+    pub fn best_ad_type_by_utility(
+        &self,
+        cid: CustomerId,
+        vid: VendorId,
+        remaining: Money,
+    ) -> Option<(AdTypeId, f64)> {
+        let base = self.pair_base(cid, vid);
+        if base <= 0.0 {
+            return None;
+        }
+        let mut best: Option<(AdTypeId, f64)> = None;
+        for (tid, t) in self.instance.ad_types_enumerated() {
+            if t.cost > remaining {
+                continue;
+            }
+            let lambda = base * t.effectiveness;
+            if lambda <= 0.0 {
+                continue;
+            }
+            if best.is_none_or(|(_, bl)| lambda > bl) {
+                best = Some((tid, lambda));
+            }
+        }
+        best
+    }
+
+    /// Convenience accessors mirroring the instance's.
+    #[inline]
+    pub fn customer(&self, cid: CustomerId) -> &'a Customer {
+        self.instance.customer(cid)
+    }
+
+    /// Vendor lookup.
+    #[inline]
+    pub fn vendor(&self, vid: VendorId) -> &'a Vendor {
+        self.instance.vendor(vid)
+    }
+
+    /// Ad-type lookup.
+    #[inline]
+    pub fn ad_type(&self, tid: AdTypeId) -> &'a AdType {
+        self.instance.ad_type(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muaa_core::{
+        AdType, Customer, InstanceBuilder, PearsonUtility, Point, TagVector, Timestamp, Vendor,
+    };
+
+    fn make_instance() -> ProblemInstance {
+        InstanceBuilder::new()
+            .ad_types([
+                AdType::new("TL", Money::from_dollars(1.0), 0.1),
+                AdType::new("PL", Money::from_dollars(2.0), 0.4),
+            ])
+            .customers([
+                Customer {
+                    location: Point::new(0.5, 0.5),
+                    capacity: 2,
+                    view_probability: 0.5,
+                    interests: TagVector::new(vec![1.0, 0.0]).unwrap(),
+                    arrival: Timestamp::MIDNIGHT,
+                },
+                Customer {
+                    location: Point::new(0.9, 0.9),
+                    capacity: 1,
+                    view_probability: 0.2,
+                    interests: TagVector::new(vec![0.0, 1.0]).unwrap(),
+                    arrival: Timestamp::MIDNIGHT,
+                },
+            ])
+            .vendors([
+                Vendor {
+                    location: Point::new(0.5, 0.6),
+                    radius: 0.2,
+                    budget: Money::from_dollars(3.0),
+                    tags: TagVector::new(vec![1.0, 0.0]).unwrap(),
+                },
+                Vendor {
+                    location: Point::new(0.5, 0.4),
+                    radius: 0.5,
+                    budget: Money::from_dollars(3.0),
+                    tags: TagVector::new(vec![0.0, 1.0]).unwrap(),
+                },
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn indexed_and_brute_force_agree_on_validity() {
+        let inst = make_instance();
+        let model = PearsonUtility::uniform(2);
+        let indexed = SolverContext::indexed(&inst, &model);
+        let brute = SolverContext::brute_force(&inst, &model);
+        for (cid, _) in inst.customers_enumerated() {
+            let mut a = indexed.valid_vendors(cid);
+            let mut b = brute.valid_vendors(cid);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "customer {cid}");
+        }
+        for (vid, _) in inst.vendors_enumerated() {
+            let mut a = indexed.valid_customers(vid);
+            let mut b = brute.valid_customers(vid);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "vendor {vid}");
+        }
+    }
+
+    #[test]
+    fn valid_sets_respect_radii() {
+        let inst = make_instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        // Customer 0 at (0.5,0.5): vendor 0 (r 0.2, d 0.1) valid,
+        // vendor 1 (r 0.5, d 0.1) valid.
+        let mut v0 = ctx.valid_vendors(CustomerId::new(0));
+        v0.sort_unstable();
+        assert_eq!(v0, vec![VendorId::new(0), VendorId::new(1)]);
+        // Customer 1 at (0.9,0.9): far from both.
+        assert!(ctx.valid_vendors(CustomerId::new(1)).is_empty());
+        // Vendor 0 reaches only customer 0.
+        assert_eq!(
+            ctx.valid_customers(VendorId::new(0)),
+            vec![CustomerId::new(0)]
+        );
+    }
+
+    #[test]
+    fn utility_decomposes_via_pair_base() {
+        let inst = make_instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let cid = CustomerId::new(0);
+        let vid = VendorId::new(0);
+        let base = ctx.pair_base(cid, vid);
+        assert!(base > 0.0);
+        for (tid, t) in inst.ad_types_enumerated() {
+            let direct = model.utility(cid, inst.customer(cid), vid, inst.vendor(vid), t);
+            assert!((ctx.utility(cid, vid, tid) - direct).abs() < 1e-12);
+            assert!((ctx.utility_from_base(base, tid) - direct).abs() < 1e-12);
+            assert!(
+                (ctx.efficiency_from_base(base, tid) - direct / t.cost.as_dollars()).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn best_ad_type_maximizes_efficiency_under_budget() {
+        let inst = make_instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let cid = CustomerId::new(0);
+        let vid = VendorId::new(0);
+        // PL: β/c = 0.4/2 = 0.2 per $; TL: 0.1/1 = 0.1 → PL wins when affordable.
+        let (tid, lam, gam) = ctx
+            .best_ad_type(cid, vid, Money::from_dollars(3.0))
+            .unwrap();
+        assert_eq!(inst.ad_type(tid).name, "PL");
+        assert!(lam > 0.0 && gam > 0.0);
+        // With only $1 remaining, TL is the best affordable.
+        let (tid, _, _) = ctx
+            .best_ad_type(cid, vid, Money::from_dollars(1.0))
+            .unwrap();
+        assert_eq!(inst.ad_type(tid).name, "TL");
+        // With $0.50 nothing fits.
+        assert!(ctx.best_ad_type(cid, vid, Money::from_cents(50)).is_none());
+    }
+
+    #[test]
+    fn best_ad_type_none_for_zero_similarity_pair() {
+        let inst = make_instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        // Customer 0 (interests [1,0]) vs vendor 1 (tags [0,1]):
+        // anti-correlated, similarity clamps to 0.
+        assert!(ctx
+            .best_ad_type(CustomerId::new(0), VendorId::new(1), Money::MAX)
+            .is_none());
+    }
+
+    #[test]
+    fn vendors_by_distance_orders_nearest_first() {
+        let inst = make_instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let order = ctx.vendors_by_distance(CustomerId::new(0));
+        assert_eq!(order.len(), 2);
+        let c = inst.customer(CustomerId::new(0));
+        let d0 = model.distance(CustomerId::new(0), c, order[0], inst.vendor(order[0]));
+        let d1 = model.distance(CustomerId::new(0), c, order[1], inst.vendor(order[1]));
+        assert!(d0 <= d1);
+    }
+}

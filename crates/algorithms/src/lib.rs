@@ -1,0 +1,58 @@
+//! # muaa-algorithms
+//!
+//! Offline and online solvers for the MUAA problem.
+//!
+//! ## Offline (paper §III and §V competitors)
+//!
+//! * [`Recon`] — the paper's reconciliation algorithm (Algorithm 1):
+//!   per-vendor multi-choice knapsack solves followed by reconciliation
+//!   of customer-capacity violations; approximation ratio `(1−ε)·θ`.
+//! * [`Greedy`] — the GREEDY competitor: repeatedly commit the feasible
+//!   ad instance with the highest budget efficiency. Two
+//!   implementations: [`Greedy`] (sorted single sweep) and
+//!   [`NaiveGreedy`] (per-iteration rescan, matching the cost profile
+//!   the paper reports for GREEDY).
+//! * [`RandomAssign`] — the RANDOM baseline.
+//! * [`NearestAssign`] — the NEAREST baseline (nearest vendors first).
+//! * [`ExactBnB`] — branch-and-bound exact solver for small instances;
+//!   used to measure empirical approximation/competitive ratios.
+//!
+//! ## Online (paper §IV)
+//!
+//! * [`OAfa`] — the online adaptive factor-aware algorithm
+//!   (Algorithm 2) with the adaptive threshold
+//!   `φ(δ) = (γ_min / e) · g^δ`; competitive ratio `(ln g + 1)/θ`.
+//! * [`ThresholdFn`] — adaptive, static, or disabled thresholds (the
+//!   static/disabled variants are the paper's §IV discussion ablation).
+//! * [`estimate_gamma_bounds`] — the §IV-C parameter-estimation step:
+//!   sample candidate instances to estimate `γ_min`/`γ_max` and pick a
+//!   valid `g > e`.
+//!
+//! All solvers speak [`SolverContext`], which bundles the instance, the
+//! utility model and the spatial indexes, and they return
+//! [`SolveOutcome`]s carrying the assignment set, its total utility and
+//! the measured wall-clock time.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod bounds;
+mod context;
+pub mod offline;
+pub mod online;
+mod stats;
+
+pub use bounds::{upper_bounds, UpperBounds};
+pub use context::SolverContext;
+pub use offline::batched::BatchedRecon;
+pub use offline::exact::ExactBnB;
+pub use offline::greedy::{Greedy, NaiveGreedy};
+pub use offline::nearest::NearestAssign;
+pub use offline::random::RandomAssign;
+pub use offline::recon::{MckpBackend, Recon};
+pub use offline::OfflineSolver;
+pub use online::estimate::{estimate_gamma_bounds, GammaBounds};
+pub use online::oafa::OAfa;
+pub use online::threshold::ThresholdFn;
+pub use online::{run_online, OnlineSolver};
+pub use stats::SolveOutcome;

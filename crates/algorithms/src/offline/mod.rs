@@ -1,0 +1,39 @@
+//! Offline MUAA solvers: the whole snapshot `(U_φ, V_φ, T)` is known
+//! up front.
+
+pub mod batched;
+pub mod exact;
+pub mod greedy;
+pub mod nearest;
+pub mod random;
+pub mod recon;
+
+use crate::context::SolverContext;
+use crate::stats::SolveOutcome;
+use muaa_core::AssignmentSet;
+use std::time::Instant;
+
+/// An offline MUAA solver.
+pub trait OfflineSolver {
+    /// Produce a feasible assignment set for the whole instance.
+    fn assign(&self, ctx: &SolverContext<'_>) -> AssignmentSet;
+
+    /// Display name (used in experiment reports; matches the paper's
+    /// competitor labels where applicable).
+    fn name(&self) -> &'static str;
+
+    /// Run the solver and measure utility and wall-clock time.
+    fn run(&self, ctx: &SolverContext<'_>) -> SolveOutcome {
+        let start = Instant::now();
+        let assignments = self.assign(ctx);
+        let elapsed = start.elapsed();
+        debug_assert!(
+            assignments
+                .check_feasibility(ctx.instance(), ctx.model())
+                .is_feasible(),
+            "{} produced an infeasible assignment set",
+            self.name()
+        );
+        SolveOutcome::measure(self.name(), ctx, assignments, elapsed)
+    }
+}

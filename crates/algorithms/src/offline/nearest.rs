@@ -1,0 +1,156 @@
+//! The NEAREST baseline: greedily assign the ads of the nearest vendors
+//! to each customer as they appear (paper §V-A).
+
+use crate::context::SolverContext;
+use crate::offline::OfflineSolver;
+use muaa_core::{Assignment, AssignmentSet};
+
+/// NEAREST: for each customer in arrival order, walk the valid vendors
+/// nearest-first and assign the best-utility affordable ad type from
+/// each, until the customer's capacity is reached. Utility is only
+/// consulted to pick the ad type once the vendor is fixed; vendor order
+/// is purely spatial, which is what makes this a baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NearestAssign;
+
+impl OfflineSolver for NearestAssign {
+    fn assign(&self, ctx: &SolverContext<'_>) -> AssignmentSet {
+        let inst = ctx.instance();
+        let mut set = AssignmentSet::new(inst);
+        for (cid, customer) in inst.customers_enumerated() {
+            let mut granted = 0u32;
+            for vid in ctx.vendors_by_distance(cid) {
+                if granted >= customer.capacity {
+                    break;
+                }
+                let remaining = set.remaining_budget(inst, vid);
+                let Some((tid, _lambda)) = ctx.best_ad_type_by_utility(cid, vid, remaining) else {
+                    continue;
+                };
+                if set.try_push(inst, Assignment::new(cid, vid, tid)) {
+                    granted += 1;
+                }
+            }
+        }
+        set
+    }
+
+    fn name(&self) -> &'static str {
+        "NEAREST"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muaa_core::{
+        AdType, Customer, InstanceBuilder, Money, PearsonUtility, Point, ProblemInstance,
+        TagVector, Timestamp, Vendor,
+    };
+
+    fn instance() -> ProblemInstance {
+        InstanceBuilder::new()
+            .ad_types([
+                AdType::new("TL", Money::from_dollars(1.0), 0.1),
+                AdType::new("PL", Money::from_dollars(2.0), 0.4),
+            ])
+            .customer(Customer {
+                location: Point::new(0.5, 0.5),
+                capacity: 1,
+                view_probability: 0.5,
+                interests: TagVector::new(vec![1.0, 0.2]).unwrap(),
+                arrival: Timestamp::MIDNIGHT,
+            })
+            .vendors([
+                // Nearer vendor (d = 0.1).
+                Vendor {
+                    location: Point::new(0.5, 0.6),
+                    radius: 0.5,
+                    budget: Money::from_dollars(3.0),
+                    tags: TagVector::new(vec![0.9, 0.1]).unwrap(),
+                },
+                // Farther vendor (d = 0.3) with the same tags.
+                Vendor {
+                    location: Point::new(0.5, 0.2),
+                    radius: 0.5,
+                    budget: Money::from_dollars(3.0),
+                    tags: TagVector::new(vec![0.9, 0.1]).unwrap(),
+                },
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prefers_the_nearest_vendor() {
+        let inst = instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let set = NearestAssign.assign(&ctx);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.assignments()[0].vendor.index(), 0);
+    }
+
+    #[test]
+    fn picks_best_utility_ad_type_for_the_chosen_vendor() {
+        let inst = instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let set = NearestAssign.assign(&ctx);
+        // PL has β 0.4 vs TL 0.1 with budget for either → PL.
+        assert_eq!(inst.ad_type(set.assignments()[0].ad_type).name, "PL");
+    }
+
+    #[test]
+    fn output_is_feasible() {
+        let inst = instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let out = NearestAssign.run(&ctx);
+        assert!(out
+            .assignments
+            .check_feasibility(&inst, &model)
+            .is_feasible());
+        assert!(out.total_utility > 0.0);
+    }
+
+    #[test]
+    fn falls_back_to_farther_vendor_when_budget_is_gone() {
+        // Two customers, capacity 1 each; vendor 0 can afford only one
+        // PL ($2 budget). The second customer must get vendor 1.
+        let inst = InstanceBuilder::new()
+            .ad_types([
+                AdType::new("TL", Money::from_dollars(1.0), 0.1),
+                AdType::new("PL", Money::from_dollars(2.0), 0.4),
+            ])
+            .customers((0..2).map(|i| Customer {
+                location: Point::new(0.5, 0.5 + 0.01 * i as f64),
+                capacity: 1,
+                view_probability: 0.5,
+                interests: TagVector::new(vec![1.0, 0.2]).unwrap(),
+                arrival: Timestamp::from_hours(i as f64),
+            }))
+            .vendors([
+                Vendor {
+                    location: Point::new(0.5, 0.55),
+                    radius: 0.5,
+                    budget: Money::from_dollars(2.0),
+                    tags: TagVector::new(vec![0.9, 0.1]).unwrap(),
+                },
+                Vendor {
+                    location: Point::new(0.5, 0.9),
+                    radius: 0.5,
+                    budget: Money::from_dollars(2.0),
+                    tags: TagVector::new(vec![0.9, 0.1]).unwrap(),
+                },
+            ])
+            .build()
+            .unwrap();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let set = NearestAssign.assign(&ctx);
+        assert_eq!(set.len(), 2);
+        let vendors: Vec<_> = set.assignments().iter().map(|a| a.vendor.index()).collect();
+        assert!(vendors.contains(&0) && vendors.contains(&1));
+    }
+}

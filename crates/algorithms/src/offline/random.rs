@@ -1,0 +1,158 @@
+//! The RANDOM baseline: randomly assign vendors' ads to valid
+//! customers under the budget constraint (paper §V-A).
+
+use crate::context::SolverContext;
+use crate::offline::OfflineSolver;
+use muaa_core::{Assignment, AssignmentSet, CustomerId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+
+/// RANDOM: for each customer (in arrival order), pick random valid
+/// vendors up to the customer's capacity and a random affordable ad
+/// type per pick. No utility information is consulted — exactly the
+/// paper's strawman.
+#[derive(Clone, Debug)]
+pub struct RandomAssign {
+    rng: RefCell<SmallRng>,
+}
+
+impl RandomAssign {
+    /// Deterministic baseline from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomAssign {
+            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl Default for RandomAssign {
+    fn default() -> Self {
+        Self::seeded(0x5eed)
+    }
+}
+
+impl OfflineSolver for RandomAssign {
+    fn assign(&self, ctx: &SolverContext<'_>) -> AssignmentSet {
+        let inst = ctx.instance();
+        let mut rng = self.rng.borrow_mut();
+        let mut set = AssignmentSet::new(inst);
+        for (cid, customer) in inst.customers_enumerated() {
+            let mut vendors = ctx.valid_vendors(cid);
+            vendors.shuffle(&mut *rng);
+            let mut granted = 0u32;
+            for vid in vendors {
+                if granted >= customer.capacity {
+                    break;
+                }
+                // Random affordable ad type.
+                let remaining = set.remaining_budget(inst, vid);
+                let affordable: Vec<_> = inst
+                    .ad_types_enumerated()
+                    .filter(|(_, t)| t.cost <= remaining)
+                    .map(|(tid, _)| tid)
+                    .collect();
+                if affordable.is_empty() {
+                    continue;
+                }
+                let tid = affordable[rng.gen_range(0..affordable.len())];
+                if set.try_push(inst, Assignment::new(cid, vid, tid)) {
+                    granted += 1;
+                }
+            }
+        }
+        set
+    }
+
+    fn name(&self) -> &'static str {
+        "RANDOM"
+    }
+}
+
+/// Expose the customer processing order for tests.
+#[allow(dead_code)]
+fn arrival_order(ctx: &SolverContext<'_>) -> Vec<CustomerId> {
+    ctx.instance()
+        .customers_enumerated()
+        .map(|(cid, _)| cid)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muaa_core::{
+        AdType, Customer, InstanceBuilder, Money, PearsonUtility, Point, ProblemInstance,
+        TagVector, Timestamp, Vendor,
+    };
+
+    fn instance() -> ProblemInstance {
+        InstanceBuilder::new()
+            .ad_types([
+                AdType::new("TL", Money::from_dollars(1.0), 0.1),
+                AdType::new("PL", Money::from_dollars(2.0), 0.4),
+            ])
+            .customers((0..10).map(|i| Customer {
+                location: Point::new(0.1 * i as f64, 0.5),
+                capacity: 2,
+                view_probability: 0.5,
+                interests: TagVector::new(vec![1.0, 0.2]).unwrap(),
+                arrival: Timestamp::from_hours(i as f64),
+            }))
+            .vendors((0..3).map(|j| Vendor {
+                location: Point::new(0.3 * j as f64, 0.5),
+                radius: 0.4,
+                budget: Money::from_dollars(3.0),
+                tags: TagVector::new(vec![0.9, 0.1]).unwrap(),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn random_output_is_feasible() {
+        let inst = instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let out = RandomAssign::seeded(1).run(&ctx);
+        assert!(out
+            .assignments
+            .check_feasibility(&inst, &model)
+            .is_feasible());
+        assert!(!out.assignments.is_empty());
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let inst = instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let a = RandomAssign::seeded(7).assign(&ctx);
+        let b = RandomAssign::seeded(7).assign(&ctx);
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let inst = instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let a = RandomAssign::seeded(1).assign(&ctx);
+        let b = RandomAssign::seeded(2).assign(&ctx);
+        // Not a hard guarantee, but with 10 customers × 3 vendors the
+        // probability of identical picks is negligible.
+        assert_ne!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let inst = instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let set = RandomAssign::seeded(3).assign(&ctx);
+        for (cid, c) in inst.customers_enumerated() {
+            assert!(set.customer_load(cid) <= c.capacity);
+        }
+    }
+}

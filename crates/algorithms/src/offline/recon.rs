@@ -1,0 +1,400 @@
+//! RECON: the paper's reconciliation algorithm (Algorithm 1).
+//!
+//! Phase 1 solves one multi-choice knapsack per vendor over its valid
+//! customers (§III-A), ignoring customer capacities across vendors.
+//! Phase 2 reconciles the resulting capacity violations: for each
+//! over-loaded customer (in random order), repeatedly delete their
+//! lowest-utility instance and let the freed vendor greedily re-assign
+//! the recovered budget to other valid customers (lines 6–11).
+//!
+//! With a `(1 − ε)`-approximate single-vendor backend, the overall
+//! approximation ratio is `(1 − ε) · θ` with
+//! `θ = min_i a_i / n_i^c` (Theorem III.1).
+
+use crate::context::SolverContext;
+use crate::offline::OfflineSolver;
+use muaa_core::{AdTypeId, Assignment, CustomerId, Money, VendorId};
+use muaa_knapsack::{MckpExactDp, MckpFptas, MckpItem, MckpLpGreedy, MckpProblem, MckpSolver};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which single-vendor MCKP solver RECON uses (DESIGN.md §9's backend
+/// ablation).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MckpBackend {
+    /// Dyer–Zemel LP-relaxation greedy — the paper-faithful default.
+    LpGreedy,
+    /// Exact DP over the budget axis.
+    ExactDp,
+    /// `(1 − ε)` FPTAS with the given ε.
+    Fptas(f64),
+}
+
+impl MckpBackend {
+    fn solve(&self, problem: &MckpProblem) -> muaa_knapsack::MckpSolution {
+        match *self {
+            MckpBackend::LpGreedy => MckpLpGreedy.solve(problem),
+            MckpBackend::ExactDp => MckpExactDp.solve(problem),
+            MckpBackend::Fptas(eps) => MckpFptas::new(eps).solve(problem),
+        }
+    }
+}
+
+/// The RECON solver. Randomness only affects the order violated
+/// customers are visited in (Alg. 1 line 7), as in the paper.
+///
+/// ```
+/// use muaa_algorithms::{OfflineSolver, Recon, SolverContext};
+/// use muaa_core::*;
+///
+/// let instance = InstanceBuilder::new()
+///     .ad_type(AdType::new("TL", Money::from_dollars(1.0), 0.1))
+///     .customer(Customer {
+///         location: Point::new(0.5, 0.5),
+///         capacity: 1,
+///         view_probability: 0.5,
+///         interests: TagVector::new(vec![1.0, 0.2]).unwrap(),
+///         arrival: Timestamp::MIDNIGHT,
+///     })
+///     .vendor(Vendor {
+///         location: Point::new(0.5, 0.55),
+///         radius: 0.2,
+///         budget: Money::from_dollars(3.0),
+///         tags: TagVector::new(vec![0.9, 0.1]).unwrap(),
+///     })
+///     .build()
+///     .unwrap();
+/// let model = PearsonUtility::uniform(2);
+/// let ctx = SolverContext::indexed(&instance, &model);
+/// let outcome = Recon::new().run(&ctx);
+/// assert_eq!(outcome.assignments.len(), 1);
+/// assert!(outcome.total_utility > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Recon {
+    backend: MckpBackend,
+    seed: u64,
+}
+
+impl Recon {
+    /// RECON with the paper-faithful LP-greedy backend.
+    pub fn new() -> Self {
+        Recon {
+            backend: MckpBackend::LpGreedy,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Override the single-vendor backend.
+    pub fn with_backend(mut self, backend: MckpBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Override the violation-order seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> MckpBackend {
+        self.backend
+    }
+}
+
+impl Default for Recon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Mutable reconciliation state: per-vendor solutions with global
+/// (possibly capacity-violating) customer loads.
+struct ReconState<'c, 'a> {
+    ctx: &'c SolverContext<'a>,
+    /// Instances per vendor: `(customer, ad type, λ)`.
+    per_vendor: Vec<Vec<(CustomerId, AdTypeId, f64)>>,
+    /// Total ads currently assigned to each customer (may exceed a_i
+    /// before reconciliation).
+    load: Vec<u32>,
+    /// Money spent per vendor.
+    spend: Vec<Money>,
+}
+
+impl<'c, 'a> ReconState<'c, 'a> {
+    fn vendor_has_pair(&self, vid: VendorId, cid: CustomerId) -> bool {
+        self.per_vendor[vid.index()]
+            .iter()
+            .any(|&(c, _, _)| c == cid)
+    }
+
+    /// Remove the instance of `cid` with the lowest utility from vendor
+    /// `vid`'s solution (Alg. 1 line 10); returns the freed cost.
+    fn remove_lowest_for(&mut self, vid: VendorId, cid: CustomerId) -> Option<Money> {
+        let list = &mut self.per_vendor[vid.index()];
+        let pos = list.iter().position(|&(c, _, _)| c == cid)?;
+        let (_, tid, _) = list.swap_remove(pos);
+        let cost = self.ctx.ad_type(tid).cost;
+        self.load[cid.index()] -= 1;
+        self.spend[vid.index()] -= cost;
+        Some(cost)
+    }
+
+    /// Greedily refill vendor `vid`'s remaining budget with the best
+    /// budget-efficiency instances among its valid customers that are
+    /// not yet served by this vendor and still have spare capacity
+    /// (Alg. 1 line 11).
+    fn refill(&mut self, vid: VendorId, valid_customers: &[CustomerId]) {
+        loop {
+            let remaining = self.ctx.vendor(vid).budget - self.spend[vid.index()];
+            if remaining < self.ctx.instance().min_ad_cost() {
+                return;
+            }
+            let mut best: Option<(CustomerId, AdTypeId, f64, f64)> = None;
+            for &cid in valid_customers {
+                if self.load[cid.index()] >= self.ctx.customer(cid).capacity {
+                    continue;
+                }
+                if self.vendor_has_pair(vid, cid) {
+                    continue;
+                }
+                if let Some((tid, lambda, gamma)) = self.ctx.best_ad_type(cid, vid, remaining) {
+                    if best.is_none_or(|(_, _, _, bg)| gamma > bg) {
+                        best = Some((cid, tid, lambda, gamma));
+                    }
+                }
+            }
+            let Some((cid, tid, lambda, _)) = best else {
+                return;
+            };
+            self.per_vendor[vid.index()].push((cid, tid, lambda));
+            self.load[cid.index()] += 1;
+            self.spend[vid.index()] += self.ctx.ad_type(tid).cost;
+        }
+    }
+}
+
+impl OfflineSolver for Recon {
+    fn assign(&self, ctx: &SolverContext<'_>) -> muaa_core::AssignmentSet {
+        let inst = ctx.instance();
+        let n_vendors = inst.num_vendors();
+        let mut per_vendor: Vec<Vec<(CustomerId, AdTypeId, f64)>> = Vec::with_capacity(n_vendors);
+        let mut load = vec![0u32; inst.num_customers()];
+        let mut spend = vec![Money::ZERO; n_vendors];
+        let mut valid_customers_per_vendor: Vec<Vec<CustomerId>> = Vec::with_capacity(n_vendors);
+
+        // ---- Phase 1: single-vendor MCKPs (Alg. 1 lines 2–5). ----
+        for (vid, vendor) in inst.vendors_enumerated() {
+            let valid = ctx.valid_customers(vid);
+            let mut problem = MckpProblem::new(vendor.budget.as_cents());
+            // Class order ↔ valid-customer order.
+            let mut bases = Vec::with_capacity(valid.len());
+            for &cid in &valid {
+                let base = ctx.pair_base(cid, vid);
+                bases.push(base);
+                problem.add_class(
+                    inst.ad_types()
+                        .iter()
+                        .map(|t| {
+                            MckpItem::new(t.cost.as_cents(), (base * t.effectiveness).max(0.0))
+                        })
+                        .collect(),
+                );
+            }
+            let solution = self.backend.solve(&problem);
+            let mut picked = Vec::new();
+            for (class, item) in solution.picks() {
+                let cid = valid[class];
+                let tid = AdTypeId::from(item);
+                let lambda = bases[class] * inst.ad_type(tid).effectiveness;
+                if lambda <= 0.0 {
+                    continue;
+                }
+                picked.push((cid, tid, lambda));
+                load[cid.index()] += 1;
+                spend[vid.index()] += inst.ad_type(tid).cost;
+            }
+            per_vendor.push(picked);
+            valid_customers_per_vendor.push(valid);
+        }
+
+        // ---- Phase 2: reconcile violations (Alg. 1 lines 6–11). ----
+        let mut violated: Vec<CustomerId> = inst
+            .customers_enumerated()
+            .filter(|&(cid, c)| load[cid.index()] > c.capacity)
+            .map(|(cid, _)| cid)
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        violated.shuffle(&mut rng);
+
+        let mut state = ReconState {
+            ctx,
+            per_vendor,
+            load,
+            spend,
+        };
+        for cid in violated {
+            let capacity = ctx.customer(cid).capacity;
+            while state.load[cid.index()] > capacity {
+                // Find this customer's lowest-utility instance across
+                // all vendors (line 8's sort, realised as a min-scan).
+                let mut worst: Option<(VendorId, f64)> = None;
+                for (j, list) in state.per_vendor.iter().enumerate() {
+                    for &(c, _, lambda) in list {
+                        if c == cid && worst.is_none_or(|(_, wl)| lambda < wl) {
+                            worst = Some((VendorId::from(j), lambda));
+                        }
+                    }
+                }
+                let Some((vid, _)) = worst else { break };
+                state.remove_lowest_for(vid, cid);
+                // Line 11: the freed vendor re-assigns greedily.
+                state.refill(vid, &valid_customers_per_vendor[vid.index()]);
+            }
+        }
+
+        // ---- Materialise the union set (line 12). ----
+        let mut set = muaa_core::AssignmentSet::new(inst);
+        for (j, list) in state.per_vendor.iter().enumerate() {
+            for &(cid, tid, _) in list {
+                let ok = set.try_push(inst, Assignment::new(cid, VendorId::from(j), tid));
+                debug_assert!(ok, "reconciled solution must be feasible");
+            }
+        }
+        set
+    }
+
+    fn name(&self) -> &'static str {
+        "RECON"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::greedy::Greedy;
+    use crate::offline::random::RandomAssign;
+    use muaa_core::{
+        AdType, Customer, InstanceBuilder, PearsonUtility, Point, ProblemInstance, TagVector,
+        Timestamp, Vendor,
+    };
+
+    fn instance(m: usize, n: usize, capacity: u32, budget: f64) -> ProblemInstance {
+        InstanceBuilder::new()
+            .ad_types([
+                AdType::new("TL", Money::from_dollars(1.0), 0.1),
+                AdType::new("PL", Money::from_dollars(2.0), 0.4),
+            ])
+            .customers((0..m).map(|i| {
+                Customer {
+                    location: Point::new((i as f64 + 0.5) / m as f64, 0.5),
+                    capacity,
+                    view_probability: 0.2 + 0.6 * ((i * 13 % 17) as f64 / 17.0),
+                    interests: TagVector::new(vec![
+                        0.3 + 0.5 * ((i % 5) as f64 / 5.0),
+                        0.9 - 0.6 * ((i % 3) as f64 / 3.0),
+                        0.5,
+                    ])
+                    .unwrap(),
+                    arrival: Timestamp::from_hours(i as f64 * 0.1),
+                }
+            }))
+            .vendors((0..n).map(|j| Vendor {
+                location: Point::new((j as f64 + 0.5) / n as f64, 0.48),
+                radius: 0.35,
+                budget: Money::from_dollars(budget),
+                tags: TagVector::new(vec![0.8, 0.2, 0.6]).unwrap(),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn recon_is_feasible() {
+        let inst = instance(30, 5, 2, 4.0);
+        let model = PearsonUtility::uniform(3);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let out = Recon::new().run(&ctx);
+        assert!(out
+            .assignments
+            .check_feasibility(&inst, &model)
+            .is_feasible());
+        assert!(out.total_utility > 0.0);
+    }
+
+    #[test]
+    fn phase1_violations_get_reconciled() {
+        // Tight capacities (1 ad each) with many overlapping vendors
+        // guarantee phase-1 violations; the final set must respect them.
+        let inst = instance(10, 8, 1, 6.0);
+        let model = PearsonUtility::uniform(3);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let set = Recon::new().assign(&ctx);
+        for (cid, c) in inst.customers_enumerated() {
+            assert!(
+                set.customer_load(cid) <= c.capacity,
+                "customer {cid} over capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn recon_beats_random_on_utility() {
+        let inst = instance(40, 6, 2, 5.0);
+        let model = PearsonUtility::uniform(3);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let recon = Recon::new().run(&ctx).total_utility;
+        let random = RandomAssign::seeded(2).run(&ctx).total_utility;
+        assert!(recon > random, "recon {recon} vs random {random}");
+    }
+
+    #[test]
+    fn exact_backend_at_least_matches_lp_backend() {
+        let inst = instance(25, 4, 2, 4.0);
+        let model = PearsonUtility::uniform(3);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let lp = Recon::new().run(&ctx).total_utility;
+        let exact = Recon::new()
+            .with_backend(MckpBackend::ExactDp)
+            .run(&ctx)
+            .total_utility;
+        // Phase 2 interactions can shuffle things slightly, but the
+        // exact backend shouldn't lose more than a whisker.
+        assert!(exact >= 0.95 * lp, "exact {exact} vs lp {lp}");
+    }
+
+    #[test]
+    fn recon_competitive_with_greedy() {
+        let inst = instance(40, 6, 2, 5.0);
+        let model = PearsonUtility::uniform(3);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let recon = Recon::new().run(&ctx).total_utility;
+        let greedy = Greedy.run(&ctx).total_utility;
+        // The paper finds RECON ≥ GREEDY; allow a small tolerance since
+        // phase-2 randomness can cost a little on tiny instances.
+        assert!(recon >= 0.9 * greedy, "recon {recon} vs greedy {greedy}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = instance(20, 6, 1, 4.0);
+        let model = PearsonUtility::uniform(3);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let a = Recon::new().with_seed(9).assign(&ctx);
+        let b = Recon::new().with_seed(9).assign(&ctx);
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = InstanceBuilder::new()
+            .ad_type(AdType::new("TL", Money::from_dollars(1.0), 0.1))
+            .build()
+            .unwrap();
+        let model = PearsonUtility::uniform(0);
+        let ctx = SolverContext::indexed(&inst, &model);
+        assert!(Recon::new().assign(&ctx).is_empty());
+    }
+}

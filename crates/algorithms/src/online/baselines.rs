@@ -1,0 +1,192 @@
+//! Online wrappers of the RANDOM and NEAREST baselines, plus a
+//! no-threshold per-customer greedy — all three make irrevocable
+//! decisions per arrival, so they are legitimate online competitors
+//! and let every competitor of the paper's figures be run in streaming
+//! mode.
+
+use crate::context::SolverContext;
+use crate::online::OnlineSolver;
+use muaa_core::{Assignment, AssignmentSet, CustomerId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Online RANDOM: per arrival, random valid vendors + random affordable
+/// ad types up to the customer's capacity.
+#[derive(Clone, Debug)]
+pub struct OnlineRandom {
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl OnlineRandom {
+    /// Deterministic from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        OnlineRandom {
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+}
+
+impl OnlineSolver for OnlineRandom {
+    fn reset(&mut self, _ctx: &SolverContext<'_>) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+    }
+
+    fn process(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut AssignmentSet,
+        customer: CustomerId,
+    ) -> Vec<Assignment> {
+        let inst = ctx.instance();
+        let mut vendors = ctx.valid_vendors(customer);
+        vendors.shuffle(&mut self.rng);
+        let capacity = inst.customer(customer).capacity;
+        let mut made = Vec::new();
+        for vid in vendors {
+            if made.len() as u32 >= capacity {
+                break;
+            }
+            let remaining = state.remaining_budget(inst, vid);
+            let affordable: Vec<_> = inst
+                .ad_types_enumerated()
+                .filter(|(_, t)| t.cost <= remaining)
+                .map(|(tid, _)| tid)
+                .collect();
+            if affordable.is_empty() {
+                continue;
+            }
+            let tid = affordable[self.rng.gen_range(0..affordable.len())];
+            let a = Assignment::new(customer, vid, tid);
+            if state.try_push(inst, a) {
+                made.push(a);
+            }
+        }
+        made
+    }
+
+    fn name(&self) -> &'static str {
+        "RANDOM"
+    }
+}
+
+/// Online NEAREST: per arrival, nearest valid vendors first, best
+/// affordable ad type by utility.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineNearest;
+
+impl OnlineSolver for OnlineNearest {
+    fn reset(&mut self, _ctx: &SolverContext<'_>) {}
+
+    fn process(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut AssignmentSet,
+        customer: CustomerId,
+    ) -> Vec<Assignment> {
+        let inst = ctx.instance();
+        let capacity = inst.customer(customer).capacity;
+        let mut made = Vec::new();
+        for vid in ctx.vendors_by_distance(customer) {
+            if made.len() as u32 >= capacity {
+                break;
+            }
+            let remaining = state.remaining_budget(inst, vid);
+            let Some((tid, _)) = ctx.best_ad_type_by_utility(customer, vid, remaining) else {
+                continue;
+            };
+            let a = Assignment::new(customer, vid, tid);
+            if state.try_push(inst, a) {
+                made.push(a);
+            }
+        }
+        made
+    }
+
+    fn name(&self) -> &'static str {
+        "NEAREST"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::nearest::NearestAssign;
+    use crate::offline::OfflineSolver;
+    use crate::online::run_online;
+    use muaa_core::{
+        AdType, Customer, InstanceBuilder, Money, PearsonUtility, Point, ProblemInstance,
+        TagVector, Timestamp, Vendor,
+    };
+
+    fn instance() -> ProblemInstance {
+        InstanceBuilder::new()
+            .ad_types([
+                AdType::new("TL", Money::from_dollars(1.0), 0.1),
+                AdType::new("PL", Money::from_dollars(2.0), 0.4),
+            ])
+            .customers((0..12).map(|i| Customer {
+                location: Point::new(0.08 * i as f64, 0.5),
+                capacity: 2,
+                view_probability: 0.4,
+                interests: TagVector::new(vec![0.9, 0.2]).unwrap(),
+                arrival: Timestamp::from_hours(i as f64),
+            }))
+            .vendors((0..4).map(|j| Vendor {
+                location: Point::new(0.25 * j as f64, 0.55),
+                radius: 0.4,
+                budget: Money::from_dollars(4.0),
+                tags: TagVector::new(vec![0.7, 0.1]).unwrap(),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn online_random_feasible_and_deterministic() {
+        let inst = instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let mut a = OnlineRandom::seeded(4);
+        let out1 = run_online(&mut a, &ctx);
+        let out2 = run_online(&mut a, &ctx); // reset() restores the seed
+        assert!(out1
+            .assignments
+            .check_feasibility(&inst, &model)
+            .is_feasible());
+        assert_eq!(
+            out1.assignments.assignments(),
+            out2.assignments.assignments()
+        );
+    }
+
+    #[test]
+    fn online_nearest_matches_offline_nearest() {
+        // NearestAssign processes customers in arrival order too, so
+        // the two must coincide exactly.
+        let inst = instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let offline = NearestAssign.assign(&ctx);
+        let mut solver = OnlineNearest;
+        let online = run_online(&mut solver, &ctx);
+        assert_eq!(offline.assignments(), online.assignments.assignments());
+    }
+
+    #[test]
+    fn capacity_respected_by_both() {
+        let inst = instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        for out in [
+            run_online(&mut OnlineRandom::seeded(1), &ctx),
+            run_online(&mut OnlineNearest, &ctx),
+        ] {
+            for (cid, c) in inst.customers_enumerated() {
+                assert!(out.assignments.customer_load(cid) <= c.capacity);
+            }
+        }
+    }
+}

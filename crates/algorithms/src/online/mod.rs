@@ -1,0 +1,51 @@
+//! Online MUAA solvers: customers arrive one at a time (in the
+//! instance's arrival order) and decisions are irrevocable.
+
+pub mod baselines;
+pub mod estimate;
+pub mod oafa;
+pub mod session;
+pub mod threshold;
+
+use crate::context::SolverContext;
+use crate::stats::SolveOutcome;
+use muaa_core::{Assignment, AssignmentSet, CustomerId};
+use std::time::Instant;
+
+/// An online MUAA solver: processes one arriving customer at a time,
+/// mutating its internal budget/assignment state.
+pub trait OnlineSolver {
+    /// Reset internal state for a fresh run over `ctx`.
+    fn reset(&mut self, ctx: &SolverContext<'_>);
+
+    /// Decide the ads pushed to the arriving `customer` and commit them
+    /// to `state`. Returns the assignments made for this customer.
+    fn process(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut AssignmentSet,
+        customer: CustomerId,
+    ) -> Vec<Assignment>;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Stream every customer of the instance through `solver` in arrival
+/// order, measuring total wall-clock time.
+pub fn run_online(solver: &mut dyn OnlineSolver, ctx: &SolverContext<'_>) -> SolveOutcome {
+    let inst = ctx.instance();
+    let start = Instant::now();
+    solver.reset(ctx);
+    let mut state = AssignmentSet::new(inst);
+    for (cid, _) in inst.customers_enumerated() {
+        solver.process(ctx, &mut state, cid);
+    }
+    let elapsed = start.elapsed();
+    debug_assert!(
+        state.check_feasibility(inst, ctx.model()).is_feasible(),
+        "{} produced an infeasible assignment set",
+        solver.name()
+    );
+    SolveOutcome::measure(solver.name(), ctx, state, elapsed)
+}

@@ -1,0 +1,269 @@
+//! [`BrokerSession`]: the stateful, user-facing streaming API.
+//!
+//! The paper's deployment story (§IV): vendors register campaigns with
+//! budgets up front; customers appear one at a time and must receive
+//! their ads within interactive latency. `BrokerSession` owns the
+//! instance snapshot, the spatial indexes and the online solver state,
+//! exposes a single [`BrokerSession::serve`] call per arriving
+//! customer, and records per-arrival latency statistics so operators
+//! can verify the paper's responsiveness claim ("ONLINE can respond to
+//! each incoming customer ... in less than 1 second even when there
+//! are 20K vendors").
+
+use crate::context::SolverContext;
+use crate::online::estimate::estimate_gamma_bounds;
+use crate::online::oafa::OAfa;
+use crate::online::threshold::ThresholdFn;
+use crate::online::OnlineSolver;
+use muaa_core::{Assignment, AssignmentSet, CustomerId, Money, ProblemInstance, UtilityModel};
+use std::time::{Duration, Instant};
+
+/// Latency statistics over the arrivals served so far.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Number of arrivals served.
+    pub served: usize,
+    /// Total time spent serving.
+    pub total: Duration,
+    /// Worst single-arrival latency.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Mean service latency (zero when nothing was served).
+    pub fn mean(&self) -> Duration {
+        if self.served == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.served as u32
+        }
+    }
+
+    fn record(&mut self, d: Duration) {
+        self.served += 1;
+        self.total += d;
+        self.max = self.max.max(d);
+    }
+}
+
+/// A live broker session over a fixed vendor snapshot.
+///
+/// ```
+/// use muaa_algorithms::online::session::BrokerSession;
+/// use muaa_core::*;
+///
+/// let instance = InstanceBuilder::new()
+///     .ad_type(AdType::new("TL", Money::from_dollars(1.0), 0.1))
+///     .customer(Customer {
+///         location: Point::new(0.5, 0.5),
+///         capacity: 1,
+///         view_probability: 0.5,
+///         interests: TagVector::new(vec![1.0, 0.2]).unwrap(),
+///         arrival: Timestamp::MIDNIGHT,
+///     })
+///     .vendor(Vendor {
+///         location: Point::new(0.5, 0.55),
+///         radius: 0.2,
+///         budget: Money::from_dollars(3.0),
+///         tags: TagVector::new(vec![0.9, 0.1]).unwrap(),
+///     })
+///     .build()
+///     .unwrap();
+/// let model = PearsonUtility::uniform(2);
+/// let mut session = BrokerSession::start(&instance, &model);
+/// let ads = session.serve(CustomerId::new(0));
+/// assert_eq!(ads.len(), 1);
+/// assert!(session.latency().served == 1);
+/// ```
+pub struct BrokerSession<'a> {
+    ctx: SolverContext<'a>,
+    solver: OAfa,
+    state: AssignmentSet,
+    latency: LatencyStats,
+    served: Vec<bool>,
+}
+
+impl<'a> BrokerSession<'a> {
+    /// Start a session with the O-AFA solver, estimating `γ_min`/`g`
+    /// from the snapshot (paper §IV-C). Falls back to an unfiltered
+    /// policy on degenerate snapshots.
+    pub fn start(instance: &'a ProblemInstance, model: &'a dyn UtilityModel) -> Self {
+        let ctx = SolverContext::indexed(instance, model);
+        let threshold = match estimate_gamma_bounds(&ctx, 1_000, 0x5E55) {
+            Some(b) => ThresholdFn::adaptive(b.gamma_min, b.g),
+            None => ThresholdFn::Disabled,
+        };
+        Self::with_threshold(instance, model, threshold)
+    }
+
+    /// Start a session with an explicit threshold policy.
+    pub fn with_threshold(
+        instance: &'a ProblemInstance,
+        model: &'a dyn UtilityModel,
+        threshold: ThresholdFn,
+    ) -> Self {
+        let ctx = SolverContext::indexed(instance, model);
+        let mut solver = OAfa::new(threshold);
+        solver.reset(&ctx);
+        let state = AssignmentSet::new(instance);
+        BrokerSession {
+            ctx,
+            solver,
+            state,
+            latency: LatencyStats::default(),
+            served: vec![false; instance.num_customers()],
+        }
+    }
+
+    /// Serve an arriving customer: decide and commit their ads.
+    /// Serving the same customer twice returns an empty batch (the
+    /// decisions are irrevocable and the pair constraint would forbid
+    /// re-serving anyway).
+    pub fn serve(&mut self, customer: CustomerId) -> Vec<Assignment> {
+        if std::mem::replace(&mut self.served[customer.index()], true) {
+            return Vec::new();
+        }
+        let start = Instant::now();
+        let ads = self.solver.process(&self.ctx, &mut self.state, customer);
+        self.latency.record(start.elapsed());
+        ads
+    }
+
+    /// Serve every not-yet-served customer in arrival order; returns
+    /// the number of ads pushed.
+    pub fn serve_remaining(&mut self) -> usize {
+        let mut pushed = 0;
+        for i in 0..self.ctx.instance().num_customers() {
+            pushed += self.serve(CustomerId::from(i)).len();
+        }
+        pushed
+    }
+
+    /// The assignments committed so far.
+    pub fn assignments(&self) -> &AssignmentSet {
+        &self.state
+    }
+
+    /// Total utility accumulated so far.
+    pub fn total_utility(&self) -> f64 {
+        self.state
+            .total_utility(self.ctx.instance(), self.ctx.model())
+    }
+
+    /// Remaining budget of a vendor.
+    pub fn remaining_budget(&self, vendor: muaa_core::VendorId) -> Money {
+        self.state.remaining_budget(self.ctx.instance(), vendor)
+    }
+
+    /// Latency statistics over the served arrivals.
+    pub fn latency(&self) -> LatencyStats {
+        self.latency
+    }
+
+    /// The underlying context (for inspection/diagnostics).
+    pub fn context(&self) -> &SolverContext<'a> {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muaa_core::{
+        AdType, Customer, InstanceBuilder, PearsonUtility, Point, TagVector, Timestamp, Vendor,
+        VendorId,
+    };
+
+    fn instance(m: usize) -> ProblemInstance {
+        InstanceBuilder::new()
+            .ad_types([
+                AdType::new("TL", Money::from_dollars(1.0), 0.1),
+                AdType::new("PL", Money::from_dollars(2.0), 0.4),
+            ])
+            .customers((0..m).map(|i| Customer {
+                location: Point::new(0.45 + 0.01 * (i % 10) as f64, 0.5),
+                capacity: 2,
+                view_probability: 0.4,
+                interests: TagVector::new(vec![0.9, 0.3]).unwrap(),
+                arrival: Timestamp::from_hours(i as f64 * 0.1),
+            }))
+            .vendors((0..3).map(|j| Vendor {
+                location: Point::new(0.5, 0.45 + 0.03 * j as f64),
+                radius: 0.3,
+                budget: Money::from_dollars(5.0),
+                tags: TagVector::new(vec![0.8, 0.2]).unwrap(),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_customers_and_tracks_latency() {
+        let inst = instance(10);
+        let model = PearsonUtility::uniform(2);
+        let mut session = BrokerSession::start(&inst, &model);
+        let ads = session.serve(CustomerId::new(0));
+        assert!(!ads.is_empty());
+        assert_eq!(session.latency().served, 1);
+        assert!(session.latency().max >= session.latency().mean());
+        assert!(session.total_utility() > 0.0);
+    }
+
+    #[test]
+    fn double_serving_is_a_noop() {
+        let inst = instance(5);
+        let model = PearsonUtility::uniform(2);
+        let mut session = BrokerSession::start(&inst, &model);
+        let first = session.serve(CustomerId::new(2));
+        let again = session.serve(CustomerId::new(2));
+        assert!(!first.is_empty());
+        assert!(again.is_empty());
+        // Latency only counts real servings.
+        assert_eq!(session.latency().served, 1);
+    }
+
+    #[test]
+    fn serve_remaining_covers_everyone_once() {
+        let inst = instance(8);
+        let model = PearsonUtility::uniform(2);
+        let mut session = BrokerSession::start(&inst, &model);
+        let early = session.serve(CustomerId::new(3)).len();
+        let pushed = session.serve_remaining();
+        assert_eq!(session.latency().served, 8);
+        assert_eq!(session.assignments().len(), early + pushed);
+        // Re-serving after the sweep is still a no-op.
+        assert!(session.serve(CustomerId::new(3)).is_empty());
+        let report = session.assignments().check_feasibility(&inst, &model);
+        assert!(report.is_feasible());
+    }
+
+    #[test]
+    fn budgets_deplete_monotonically() {
+        let inst = instance(20);
+        let model = PearsonUtility::uniform(2);
+        let mut session = BrokerSession::with_threshold(&inst, &model, ThresholdFn::Disabled);
+        let mut prev = session.remaining_budget(VendorId::new(0));
+        for i in 0..20 {
+            session.serve(CustomerId::new(i));
+            let now = session.remaining_budget(VendorId::new(0));
+            assert!(now <= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn matches_run_online_outcome() {
+        let inst = instance(15);
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model);
+        let mut raw = OAfa::new(ThresholdFn::Disabled);
+        let expected = crate::online::run_online(&mut raw, &ctx);
+
+        let mut session = BrokerSession::with_threshold(&inst, &model, ThresholdFn::Disabled);
+        session.serve_remaining();
+        assert_eq!(
+            session.assignments().assignments(),
+            expected.assignments.assignments()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 3(b): running time vs the vendor budget range `[B⁻, B⁺]` on
+//! the Foursquare-like workload. Reproduces the paper's observation
+//! that GREEDY/RECON time grows with budgets while ONLINE/RANDOM stay
+//! flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muaa_algorithms::online::baselines::OnlineRandom;
+use muaa_algorithms::{
+    estimate_gamma_bounds, NaiveGreedy, OAfa, OfflineSolver, Recon, SolverContext, ThresholdFn,
+};
+use muaa_bench::foursquare_fixture;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_budget");
+    group.sample_size(10);
+
+    for &(lo, hi) in &[(1.0, 5.0), (10.0, 20.0), (40.0, 50.0)] {
+        let fixture = foursquare_fixture(2_000, 150, (lo, hi));
+        let ctx = SolverContext::indexed(&fixture.instance, &fixture.model);
+        let label = format!("[{lo},{hi}]");
+
+        group.bench_with_input(BenchmarkId::new("RECON", &label), &ctx, |b, ctx| {
+            b.iter(|| Recon::new().assign(ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("GREEDY", &label), &ctx, |b, ctx| {
+            b.iter(|| NaiveGreedy.assign(ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("ONLINE", &label), &ctx, |b, ctx| {
+            let threshold = match estimate_gamma_bounds(ctx, 500, 1) {
+                Some(bounds) => ThresholdFn::adaptive(bounds.gamma_min, bounds.g),
+                None => ThresholdFn::Disabled,
+            };
+            b.iter(|| {
+                let mut solver = OAfa::new(threshold);
+                muaa_algorithms::run_online(&mut solver, ctx)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("RANDOM", &label), &ctx, |b, ctx| {
+            b.iter(|| {
+                let mut solver = OnlineRandom::seeded(1);
+                muaa_algorithms::run_online(&mut solver, ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Fig. 4(b): running time vs the vendor radius range `[r⁻, r⁺]` —
+//! larger radii mean larger single-vendor problems, so RECON's time
+//! should grow fastest, GREEDY's linearly, and ONLINE/RANDOM should
+//! barely move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muaa_algorithms::online::baselines::OnlineRandom;
+use muaa_algorithms::{
+    estimate_gamma_bounds, NaiveGreedy, OAfa, OfflineSolver, Recon, SolverContext, ThresholdFn,
+};
+use muaa_bench::Fixture;
+use muaa_datagen::{FoursquareConfig, FoursquareSim, Range};
+
+fn fixture_with_radius(lo: f64, hi: f64) -> Fixture {
+    let sim = FoursquareSim::generate(&FoursquareConfig {
+        checkins: 2_000,
+        venues: 150,
+        users: 120,
+        radius: Range::new(lo, hi),
+        seed: 0xBE7C,
+        ..Default::default()
+    });
+    Fixture {
+        instance: sim.instance,
+        model: sim.model,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_radius");
+    group.sample_size(10);
+
+    for &(lo, hi) in &[(0.01, 0.02), (0.02, 0.03), (0.04, 0.05)] {
+        let fixture = fixture_with_radius(lo, hi);
+        let ctx = SolverContext::indexed(&fixture.instance, &fixture.model);
+        let label = format!("[{lo},{hi}]");
+
+        group.bench_with_input(BenchmarkId::new("RECON", &label), &ctx, |b, ctx| {
+            b.iter(|| Recon::new().assign(ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("GREEDY", &label), &ctx, |b, ctx| {
+            b.iter(|| NaiveGreedy.assign(ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("ONLINE", &label), &ctx, |b, ctx| {
+            let threshold = match estimate_gamma_bounds(ctx, 500, 1) {
+                Some(bounds) => ThresholdFn::adaptive(bounds.gamma_min, bounds.g),
+                None => ThresholdFn::Disabled,
+            };
+            b.iter(|| {
+                let mut solver = OAfa::new(threshold);
+                muaa_algorithms::run_online(&mut solver, ctx)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("RANDOM", &label), &ctx, |b, ctx| {
+            b.iter(|| {
+                let mut solver = OnlineRandom::seeded(1);
+                muaa_algorithms::run_online(&mut solver, ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

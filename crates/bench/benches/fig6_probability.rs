@@ -1,0 +1,64 @@
+//! Fig. 6(b): running time vs the view-probability range `[p⁻, p⁺]` —
+//! the paper finds running time insensitive to `p` (it does not change
+//! the search space), so all curves should be flat here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muaa_algorithms::online::baselines::OnlineRandom;
+use muaa_algorithms::{
+    estimate_gamma_bounds, NaiveGreedy, OAfa, OfflineSolver, Recon, SolverContext, ThresholdFn,
+};
+use muaa_bench::Fixture;
+use muaa_datagen::{FoursquareConfig, FoursquareSim, Range};
+
+fn fixture_with_probability(lo: f64, hi: f64) -> Fixture {
+    let sim = FoursquareSim::generate(&FoursquareConfig {
+        checkins: 2_000,
+        venues: 150,
+        users: 120,
+        view_probability: Range::new(lo, hi),
+        seed: 0xBE7C,
+        ..Default::default()
+    });
+    Fixture {
+        instance: sim.instance,
+        model: sim.model,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_probability");
+    group.sample_size(10);
+
+    for &(lo, hi) in &[(0.1, 0.2), (0.1, 0.4), (0.1, 0.8)] {
+        let fixture = fixture_with_probability(lo, hi);
+        let ctx = SolverContext::indexed(&fixture.instance, &fixture.model);
+        let label = format!("[{lo},{hi}]");
+
+        group.bench_with_input(BenchmarkId::new("RECON", &label), &ctx, |b, ctx| {
+            b.iter(|| Recon::new().assign(ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("GREEDY", &label), &ctx, |b, ctx| {
+            b.iter(|| NaiveGreedy.assign(ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("ONLINE", &label), &ctx, |b, ctx| {
+            let threshold = match estimate_gamma_bounds(ctx, 500, 1) {
+                Some(bounds) => ThresholdFn::adaptive(bounds.gamma_min, bounds.g),
+                None => ThresholdFn::Disabled,
+            };
+            b.iter(|| {
+                let mut solver = OAfa::new(threshold);
+                muaa_algorithms::run_online(&mut solver, ctx)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("RANDOM", &label), &ctx, |b, ctx| {
+            b.iter(|| {
+                let mut solver = OnlineRandom::seeded(1);
+                muaa_algorithms::run_online(&mut solver, ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

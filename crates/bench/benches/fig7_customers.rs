@@ -1,0 +1,51 @@
+//! Fig. 7(b): running time vs the number `m` of customers on synthetic
+//! data. GREEDY/ONLINE/RANDOM should scale roughly linearly in `m`;
+//! RECON grows faster (bigger single-vendor problems + reconciliation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muaa_algorithms::online::baselines::OnlineRandom;
+use muaa_algorithms::{
+    estimate_gamma_bounds, Greedy, OAfa, OfflineSolver, Recon, SolverContext, ThresholdFn,
+};
+use muaa_bench::synthetic_fixture;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_customers");
+    group.sample_size(10);
+
+    for &m in &[1_000usize, 4_000, 10_000] {
+        let fixture = synthetic_fixture(m, 150, (10.0, 20.0));
+        let ctx = SolverContext::indexed(&fixture.instance, &fixture.model);
+        let label = m.to_string();
+
+        group.bench_with_input(BenchmarkId::new("RECON", &label), &ctx, |b, ctx| {
+            b.iter(|| Recon::new().assign(ctx))
+        });
+        // Fast GREEDY here: the sweep is about scaling in m, and the
+        // naive variant at m = 10k dominates wall-clock without adding
+        // information (see ablation_greedy for the head-to-head).
+        group.bench_with_input(BenchmarkId::new("GREEDY", &label), &ctx, |b, ctx| {
+            b.iter(|| Greedy.assign(ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("ONLINE", &label), &ctx, |b, ctx| {
+            let threshold = match estimate_gamma_bounds(ctx, 500, 1) {
+                Some(bounds) => ThresholdFn::adaptive(bounds.gamma_min, bounds.g),
+                None => ThresholdFn::Disabled,
+            };
+            b.iter(|| {
+                let mut solver = OAfa::new(threshold);
+                muaa_algorithms::run_online(&mut solver, ctx)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("RANDOM", &label), &ctx, |b, ctx| {
+            b.iter(|| {
+                let mut solver = OnlineRandom::seeded(1);
+                muaa_algorithms::run_online(&mut solver, ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 8(b): running time vs the number `n` of vendors on synthetic
+//! data. RECON's time grows with `n` (one single-vendor MCKP each);
+//! ONLINE grows mildly (more valid vendors per arrival).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muaa_algorithms::online::baselines::OnlineRandom;
+use muaa_algorithms::{
+    estimate_gamma_bounds, Greedy, OAfa, OfflineSolver, Recon, SolverContext, ThresholdFn,
+};
+use muaa_bench::synthetic_fixture;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_vendors");
+    group.sample_size(10);
+
+    for &n in &[100usize, 300, 600] {
+        let fixture = synthetic_fixture(4_000, n, (10.0, 20.0));
+        let ctx = SolverContext::indexed(&fixture.instance, &fixture.model);
+        let label = n.to_string();
+
+        group.bench_with_input(BenchmarkId::new("RECON", &label), &ctx, |b, ctx| {
+            b.iter(|| Recon::new().assign(ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("GREEDY", &label), &ctx, |b, ctx| {
+            b.iter(|| Greedy.assign(ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("ONLINE", &label), &ctx, |b, ctx| {
+            let threshold = match estimate_gamma_bounds(ctx, 500, 1) {
+                Some(bounds) => ThresholdFn::adaptive(bounds.gamma_min, bounds.g),
+                None => ThresholdFn::Disabled,
+            };
+            b.iter(|| {
+                let mut solver = OAfa::new(threshold);
+                muaa_algorithms::run_online(&mut solver, ctx)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("RANDOM", &label), &ctx, |b, ctx| {
+            b.iter(|| {
+                let mut solver = OnlineRandom::seeded(1);
+                muaa_algorithms::run_online(&mut solver, ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmark: the single-vendor MCKP backends (LP-greedy, exact
+//! DP, FPTAS) at increasing class counts — the backend ablation of
+//! DESIGN.md §9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muaa_knapsack::{MckpExactDp, MckpFptas, MckpItem, MckpLpGreedy, MckpProblem, MckpSolver};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn make_problem(classes: usize, budget_cents: u64, seed: u64) -> MckpProblem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = MckpProblem::new(budget_cents);
+    for _ in 0..classes {
+        p.add_class(
+            [100u64, 200, 300]
+                .iter()
+                .map(|&cost| MckpItem::new(cost, rng.gen::<f64>() * (cost as f64 / 100.0).sqrt()))
+                .collect(),
+        );
+    }
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_mckp");
+    group.sample_size(10);
+    for &classes in &[20usize, 100, 500] {
+        let problem = make_problem(classes, 2_000, 42);
+        group.bench_with_input(BenchmarkId::new("lp_greedy", classes), &problem, |b, p| {
+            b.iter(|| MckpLpGreedy.solve(p))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_dp", classes), &problem, |b, p| {
+            b.iter(|| MckpExactDp.solve(p))
+        });
+        // The FPTAS DP is O(classes²·items/ε); past ~100 classes a
+        // single solve takes seconds, so the sweep stops there (the
+        // asymptotic picture is already visible at 20 → 100).
+        if classes <= 100 {
+            group.bench_with_input(BenchmarkId::new("fptas_0.1", classes), &problem, |b, p| {
+                b.iter(|| MckpFptas::new(0.1).solve(p))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

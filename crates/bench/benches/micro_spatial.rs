@@ -1,0 +1,101 @@
+//! Micro-benchmark: grid index build, range queries at varying cell
+//! sizes (the DESIGN.md §9 cell-size sensitivity ablation), and the
+//! vendor reverse-coverage index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muaa_core::{Money, Point, TagVector, Vendor};
+use muaa_spatial::{GridIndex, VendorIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let points = random_points(50_000, 7);
+
+    let mut group = c.benchmark_group("micro_spatial");
+
+    group.bench_function("grid_build_50k", |b| {
+        b.iter(|| GridIndex::new(points.clone(), 0.025))
+    });
+
+    // Cell-size sensitivity for the same query mix.
+    let queries = random_points(256, 13);
+    for &cell in &[0.005f64, 0.025, 0.1] {
+        let index = GridIndex::with_cell_size(points.clone(), cell);
+        group.bench_with_input(
+            BenchmarkId::new("range_query_r0.025", format!("cell{cell}")),
+            &index,
+            |b, idx| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    for q in &queries {
+                        idx.range_query_into(*q, 0.025, &mut out);
+                    }
+                })
+            },
+        );
+    }
+
+    // k-NN.
+    let index = GridIndex::new(points.clone(), 0.025);
+    group.bench_function("k_nearest_10", |b| {
+        b.iter(|| {
+            for q in &queries {
+                index.k_nearest(*q, 10);
+            }
+        })
+    });
+
+    // Grid vs k-d tree back-off: same workload, alternative backend.
+    group.bench_function("kdtree_build_50k", |b| {
+        b.iter(|| muaa_spatial::KdTree::new(points.clone()))
+    });
+    let tree = muaa_spatial::KdTree::new(points.clone());
+    group.bench_function("kdtree_range_query_r0.025", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for q in &queries {
+                tree.range_query_into(*q, 0.025, &mut out);
+            }
+        })
+    });
+    group.bench_function("kdtree_k_nearest_10", |b| {
+        b.iter(|| {
+            for q in &queries {
+                tree.k_nearest(*q, 10);
+            }
+        })
+    });
+
+    // Vendor reverse-coverage index.
+    let mut rng = SmallRng::seed_from_u64(21);
+    let vendors: Vec<Vendor> = (0..2_000)
+        .map(|_| Vendor {
+            location: Point::new(rng.gen(), rng.gen()),
+            radius: rng.gen_range(0.01..0.05),
+            budget: Money::from_dollars(10.0),
+            tags: TagVector::zeros(1),
+        })
+        .collect();
+    group.bench_function("vendor_index_build_2k", |b| {
+        b.iter(|| VendorIndex::new(&vendors))
+    });
+    let vidx = VendorIndex::new(&vendors);
+    group.bench_function("vendor_covering_queries", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for q in &queries {
+                vidx.covering_into(*q, &mut out);
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

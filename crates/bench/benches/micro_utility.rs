@@ -1,0 +1,71 @@
+//! Micro-benchmark: the Eq. 4/5 utility evaluation — weighted Pearson
+//! similarity over tag vectors of increasing width, with uniform and
+//! diurnal activity profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muaa_core::{
+    ActivityProfile, Customer, CustomerId, Money, PearsonUtility, Point, TagVector, Timestamp,
+    UtilityModel, Vendor, VendorId,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn entities(tags: usize, seed: u64) -> (Customer, Vendor) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let vec = |rng: &mut SmallRng| {
+        TagVector::new_unchecked((0..tags).map(|_| rng.gen::<f64>()).collect())
+    };
+    (
+        Customer {
+            location: Point::new(0.4, 0.5),
+            capacity: 2,
+            view_probability: 0.4,
+            interests: vec(&mut rng),
+            arrival: Timestamp::from_hours(17.5),
+        },
+        Vendor {
+            location: Point::new(0.5, 0.5),
+            radius: 0.3,
+            budget: Money::from_dollars(10.0),
+            tags: vec(&mut rng),
+        },
+    )
+}
+
+fn diurnal_profile(tags: usize) -> ActivityProfile {
+    let curves: Vec<Vec<f64>> = (0..tags)
+        .map(|t| (0..24).map(|h| ((h + t) % 24) as f64 / 23.0).collect())
+        .collect();
+    ActivityProfile::from_hourly(&curves).expect("valid curves")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_utility");
+    for &tags in &[8usize, 64, 256] {
+        let (customer, vendor) = entities(tags, 3);
+        let uniform = PearsonUtility::uniform(tags);
+        let diurnal = PearsonUtility::new(diurnal_profile(tags));
+        group.bench_with_input(
+            BenchmarkId::new("similarity_uniform", tags),
+            &tags,
+            |b, _| {
+                b.iter(|| {
+                    uniform.similarity(CustomerId::new(0), &customer, VendorId::new(0), &vendor)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("similarity_diurnal", tags),
+            &tags,
+            |b, _| {
+                b.iter(|| {
+                    diurnal.similarity(CustomerId::new(0), &customer, VendorId::new(0), &vendor)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

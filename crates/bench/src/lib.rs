@@ -1,0 +1,73 @@
+//! # muaa-bench
+//!
+//! Criterion benchmarks for the MUAA reproduction. The benchmark
+//! binaries live in `benches/`:
+//!
+//! * `fig3_budget` … `fig8_vendors` — the running-time halves of the
+//!   paper's Figures 3–8: each solver timed across the figure's sweep;
+//! * `micro_mckp` — the single-vendor MCKP backends (RECON ablation);
+//! * `micro_spatial` — grid index construction/queries and cell-size
+//!   sensitivity;
+//! * `micro_utility` — Eq. 4/5 utility evaluation;
+//! * `ablation_greedy` — fast sorted-sweep GREEDY vs the paper-style
+//!   per-iteration rescan.
+//!
+//! This library exposes the shared fixtures those benches use.
+
+use muaa_core::{PearsonUtility, ProblemInstance};
+use muaa_datagen::{generate_synthetic, FoursquareConfig, FoursquareSim, Range, SyntheticConfig};
+
+/// A bench fixture: instance + matching utility model.
+pub struct Fixture {
+    /// The instance under test.
+    pub instance: ProblemInstance,
+    /// The model to evaluate utilities with.
+    pub model: PearsonUtility,
+}
+
+/// A synthetic fixture sized for benching (smaller than experiment
+/// scale so criterion's repeated sampling stays affordable).
+pub fn synthetic_fixture(customers: usize, vendors: usize, budget: (f64, f64)) -> Fixture {
+    let cfg = SyntheticConfig {
+        customers,
+        vendors,
+        budget: Range::new(budget.0, budget.1),
+        radius: Range::new(0.03, 0.06),
+        seed: 0xBE7C,
+        ..Default::default()
+    };
+    let tags = cfg.tags;
+    Fixture {
+        instance: generate_synthetic(&cfg),
+        model: PearsonUtility::uniform(tags),
+    }
+}
+
+/// A Foursquare-sim fixture for the "real data" figures.
+pub fn foursquare_fixture(checkins: usize, venues: usize, budget: (f64, f64)) -> Fixture {
+    let sim = FoursquareSim::generate(&FoursquareConfig {
+        checkins,
+        venues,
+        users: (checkins / 20).max(10),
+        budget: Range::new(budget.0, budget.1),
+        seed: 0xBE7C,
+        ..Default::default()
+    });
+    Fixture {
+        instance: sim.instance,
+        model: sim.model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let f = synthetic_fixture(200, 10, (5.0, 10.0));
+        assert_eq!(f.instance.num_customers(), 200);
+        let f = foursquare_fixture(300, 30, (5.0, 10.0));
+        assert_eq!(f.instance.num_customers(), 300);
+    }
+}

@@ -1,0 +1,196 @@
+//! Timestamps and per-tag temporal activity `α_x(φ)`.
+//!
+//! The paper weights the Pearson correlation of Equation (5) with a
+//! per-tag *active level* `α_x(φ)` — e.g. "coffee" is active in the
+//! morning, "Chinese food" at lunch and dinner. We model a timestamp as
+//! a time of day (the paper folds real check-in timestamps modulo 24 h)
+//! and an [`ActivityProfile`] as a piecewise-hourly activity curve per
+//! tag.
+
+use crate::error::CoreError;
+
+/// Hours in a day; timestamps live in `[0, 24)`.
+pub const HOURS_PER_DAY: f64 = 24.0;
+
+/// A time of day in fractional hours, wrapped into `[0, 24)`.
+///
+/// The paper observes that for the online algorithm only the *order* of
+/// customer arrivals matters; the timestamp additionally drives the
+/// temporal activity weights of Equation (5).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Timestamp(f64);
+
+impl Timestamp {
+    /// Construct from fractional hours; any finite value is folded into
+    /// `[0, 24)` (matching the paper's "modulo the arrival times ... into
+    /// 24 hours"). Non-finite input yields midnight.
+    pub fn from_hours(hours: f64) -> Self {
+        if !hours.is_finite() {
+            return Timestamp(0.0);
+        }
+        Timestamp(hours.rem_euclid(HOURS_PER_DAY))
+    }
+
+    /// Construct from seconds since (any) midnight.
+    pub fn from_seconds(seconds: f64) -> Self {
+        Timestamp::from_hours(seconds / 3600.0)
+    }
+
+    /// The time in fractional hours, in `[0, 24)`.
+    #[inline]
+    pub fn hours(self) -> f64 {
+        self.0
+    }
+
+    /// The containing hour slot, in `0..24`.
+    #[inline]
+    pub fn hour_slot(self) -> usize {
+        (self.0.floor() as usize).min(23)
+    }
+
+    /// Midnight.
+    pub const MIDNIGHT: Timestamp = Timestamp(0.0);
+}
+
+/// Per-tag, per-hour activity levels `α_x(φ) ∈ [0, 1]`.
+///
+/// Stored as a dense `tags × 24` matrix of hourly levels; lookups
+/// linearly interpolate between hour slots so that activity varies
+/// smoothly over the day.
+#[derive(Clone, Debug)]
+pub struct ActivityProfile {
+    /// `levels[tag * 24 + hour]`.
+    levels: Vec<f64>,
+    tags: usize,
+}
+
+impl ActivityProfile {
+    /// A profile in which every tag is fully active at all times — this
+    /// reduces Equation (5) to the plain (unweighted) Pearson
+    /// correlation and is the right default when no temporal data is
+    /// available.
+    pub fn uniform(tags: usize) -> Self {
+        ActivityProfile {
+            levels: vec![1.0; tags * 24],
+            tags,
+        }
+    }
+
+    /// Build from explicit per-tag hourly curves. Each inner slice must
+    /// have exactly 24 entries in `[0, 1]`.
+    pub fn from_hourly(curves: &[Vec<f64>]) -> Result<Self, CoreError> {
+        let mut levels = Vec::with_capacity(curves.len() * 24);
+        for (tag, curve) in curves.iter().enumerate() {
+            if curve.len() != 24 {
+                return Err(CoreError::InvalidActivityCurve {
+                    tag,
+                    reason: format!("expected 24 hourly levels, got {}", curve.len()),
+                });
+            }
+            for &lvl in curve {
+                if !lvl.is_finite() || !(0.0..=1.0).contains(&lvl) {
+                    return Err(CoreError::InvalidActivityCurve {
+                        tag,
+                        reason: format!("activity level {lvl} outside [0,1]"),
+                    });
+                }
+                levels.push(lvl);
+            }
+        }
+        Ok(ActivityProfile {
+            levels,
+            tags: curves.len(),
+        })
+    }
+
+    /// Number of tags covered.
+    #[inline]
+    pub fn tags(&self) -> usize {
+        self.tags
+    }
+
+    /// Activity level of `tag` at time `at`, linearly interpolated
+    /// between hourly samples (wrapping around midnight).
+    pub fn level(&self, tag: usize, at: Timestamp) -> f64 {
+        debug_assert!(tag < self.tags, "tag {tag} out of range ({})", self.tags);
+        let h = at.hours();
+        let lo = h.floor() as usize % 24;
+        let hi = (lo + 1) % 24;
+        let frac = h - h.floor();
+        let a = self.levels[tag * 24 + lo];
+        let b = self.levels[tag * 24 + hi];
+        a + (b - a) * frac
+    }
+
+    /// Fill `out` with the activity level of every tag at time `at`.
+    /// `out` is resized to the number of tags.
+    pub fn levels_at(&self, at: Timestamp, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.tags);
+        for tag in 0..self.tags {
+            out.push(self.level(tag, at));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_wraps_into_day() {
+        assert!((Timestamp::from_hours(25.5).hours() - 1.5).abs() < 1e-12);
+        assert!((Timestamp::from_hours(-1.0).hours() - 23.0).abs() < 1e-12);
+        assert_eq!(Timestamp::from_hours(f64::NAN).hours(), 0.0);
+        assert_eq!(Timestamp::from_seconds(3600.0).hours(), 1.0);
+    }
+
+    #[test]
+    fn hour_slot_is_clamped() {
+        assert_eq!(Timestamp::from_hours(5.9).hour_slot(), 5);
+        assert_eq!(Timestamp::from_hours(23.999).hour_slot(), 23);
+        assert_eq!(Timestamp::MIDNIGHT.hour_slot(), 0);
+    }
+
+    #[test]
+    fn uniform_profile_is_all_ones() {
+        let p = ActivityProfile::uniform(3);
+        for tag in 0..3 {
+            assert_eq!(p.level(tag, Timestamp::from_hours(13.37)), 1.0);
+        }
+    }
+
+    #[test]
+    fn from_hourly_validates() {
+        assert!(ActivityProfile::from_hourly(&[vec![0.5; 23]]).is_err());
+        assert!(ActivityProfile::from_hourly(&[vec![1.5; 24]]).is_err());
+        assert!(ActivityProfile::from_hourly(&[vec![0.5; 24]]).is_ok());
+    }
+
+    #[test]
+    fn level_interpolates_between_hours() {
+        let mut curve = vec![0.0; 24];
+        curve[6] = 0.0;
+        curve[7] = 1.0;
+        let p = ActivityProfile::from_hourly(&[curve]).unwrap();
+        assert!((p.level(0, Timestamp::from_hours(6.5)) - 0.5).abs() < 1e-12);
+        assert!((p.level(0, Timestamp::from_hours(6.25)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_wraps_around_midnight() {
+        let mut curve = vec![0.0; 24];
+        curve[23] = 1.0;
+        curve[0] = 0.0;
+        let p = ActivityProfile::from_hourly(&[curve]).unwrap();
+        assert!((p.level(0, Timestamp::from_hours(23.5)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levels_at_fills_all_tags() {
+        let p = ActivityProfile::uniform(4);
+        let mut out = Vec::new();
+        p.levels_at(Timestamp::MIDNIGHT, &mut out);
+        assert_eq!(out, vec![1.0; 4]);
+    }
+}

@@ -1,0 +1,192 @@
+//! The three entity kinds of the MUAA problem: customers, vendors and
+//! ad types (paper Definitions 1–3).
+
+use crate::activity::Timestamp;
+use crate::error::CoreError;
+use crate::geo::Point;
+use crate::ids::{AdTypeId, CustomerId, VendorId};
+use crate::money::Money;
+use crate::tags::TagVector;
+
+/// A spatial customer `u_i` (Definition 1).
+#[derive(Clone, Debug)]
+pub struct Customer {
+    /// Location `l(u_i, φ)` at the customer's arrival timestamp.
+    pub location: Point,
+    /// Maximum number of ads `a_i` the customer is willing to receive.
+    pub capacity: u32,
+    /// Probability `p_i` that the customer views a received ad.
+    pub view_probability: f64,
+    /// Interest vector `ψ_i` over the tag universe.
+    pub interests: TagVector,
+    /// Arrival timestamp `φ`; drives activity weighting and the arrival
+    /// order seen by online algorithms.
+    pub arrival: Timestamp,
+}
+
+impl Customer {
+    /// Validate the customer's fields (location finite, probability in
+    /// `[0, 1]`).
+    pub fn validate(&self, id: CustomerId) -> Result<(), CoreError> {
+        if !self.location.is_finite() {
+            return Err(CoreError::InvalidCustomer {
+                id,
+                reason: "non-finite location".into(),
+            });
+        }
+        if !self.view_probability.is_finite() || !(0.0..=1.0).contains(&self.view_probability) {
+            return Err(CoreError::InvalidCustomer {
+                id,
+                reason: format!("view probability {} outside [0,1]", self.view_probability),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A spatial vendor `v_j` (Definition 2).
+#[derive(Clone, Debug)]
+pub struct Vendor {
+    /// Location `l(v_j)`.
+    pub location: Point,
+    /// Radius `r_j` of the circular area the vendor's ads may reach.
+    pub radius: f64,
+    /// Advertising budget `B_j` deposited with the broker.
+    pub budget: Money,
+    /// Tag vector `ψ_j` describing the vendor.
+    pub tags: TagVector,
+}
+
+impl Vendor {
+    /// Validate the vendor's fields (finite location, non-negative
+    /// finite radius).
+    pub fn validate(&self, id: VendorId) -> Result<(), CoreError> {
+        if !self.location.is_finite() {
+            return Err(CoreError::InvalidVendor {
+                id,
+                reason: "non-finite location".into(),
+            });
+        }
+        if !self.radius.is_finite() || self.radius < 0.0 {
+            return Err(CoreError::InvalidVendor {
+                id,
+                reason: format!("radius {} must be finite and non-negative", self.radius),
+            });
+        }
+        Ok(())
+    }
+
+    /// `true` iff `point` lies inside the vendor's broadcast area
+    /// (constraint 1 of Definition 5: `d(u_i, v_j) ≤ r_j`).
+    #[inline]
+    pub fn covers(&self, point: &Point) -> bool {
+        self.location.distance_sq(point) <= self.radius * self.radius
+    }
+}
+
+/// An ad type `τ_k` (Definition 3): e.g. text link, photo link, in-app
+/// video. The paper assumes costlier types are more effective.
+#[derive(Clone, Debug)]
+pub struct AdType {
+    /// Human-readable name ("Text Link", "Photo Link", …).
+    pub name: String,
+    /// Price `c_k` the vendor pays per sent ad of this type.
+    pub cost: Money,
+    /// Utility effectiveness `β_k ∈ [0, 1]`: the probability that a
+    /// customer who viewed the ad acts on it.
+    pub effectiveness: f64,
+}
+
+impl AdType {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cost: Money, effectiveness: f64) -> Self {
+        AdType {
+            name: name.into(),
+            cost,
+            effectiveness,
+        }
+    }
+
+    /// Validate the ad type (positive cost so budget efficiency
+    /// `λ / c_k` is well defined; effectiveness in `[0, 1]`).
+    pub fn validate(&self, id: AdTypeId) -> Result<(), CoreError> {
+        if self.cost.is_zero() {
+            return Err(CoreError::InvalidAdType {
+                id,
+                reason: "cost must be positive".into(),
+            });
+        }
+        if !self.effectiveness.is_finite() || !(0.0..=1.0).contains(&self.effectiveness) {
+            return Err(CoreError::InvalidAdType {
+                id,
+                reason: format!("effectiveness {} outside [0,1]", self.effectiveness),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer() -> Customer {
+        Customer {
+            location: Point::new(0.5, 0.5),
+            capacity: 2,
+            view_probability: 0.3,
+            interests: TagVector::zeros(3),
+            arrival: Timestamp::MIDNIGHT,
+        }
+    }
+
+    #[test]
+    fn customer_validation() {
+        assert!(customer().validate(CustomerId::new(0)).is_ok());
+        let mut c = customer();
+        c.view_probability = 1.5;
+        assert!(c.validate(CustomerId::new(0)).is_err());
+        let mut c = customer();
+        c.location = Point::new(f64::NAN, 0.0);
+        assert!(c.validate(CustomerId::new(0)).is_err());
+    }
+
+    #[test]
+    fn vendor_validation_and_coverage() {
+        let v = Vendor {
+            location: Point::new(0.0, 0.0),
+            radius: 1.0,
+            budget: Money::from_dollars(3.0),
+            tags: TagVector::zeros(3),
+        };
+        assert!(v.validate(VendorId::new(0)).is_ok());
+        assert!(v.covers(&Point::new(0.6, 0.8))); // distance exactly 1.0
+        assert!(!v.covers(&Point::new(0.8, 0.8)));
+
+        let mut bad = v.clone();
+        bad.radius = -0.5;
+        assert!(bad.validate(VendorId::new(0)).is_err());
+    }
+
+    #[test]
+    fn zero_radius_vendor_covers_only_its_own_point() {
+        let v = Vendor {
+            location: Point::new(0.25, 0.25),
+            radius: 0.0,
+            budget: Money::from_dollars(1.0),
+            tags: TagVector::zeros(1),
+        };
+        assert!(v.covers(&Point::new(0.25, 0.25)));
+        assert!(!v.covers(&Point::new(0.250001, 0.25)));
+    }
+
+    #[test]
+    fn ad_type_validation() {
+        let t = AdType::new("Text Link", Money::from_dollars(1.0), 0.1);
+        assert!(t.validate(AdTypeId::new(0)).is_ok());
+        let free = AdType::new("Free", Money::ZERO, 0.1);
+        assert!(free.validate(AdTypeId::new(0)).is_err());
+        let weird = AdType::new("Weird", Money::from_dollars(1.0), 1.2);
+        assert!(weird.validate(AdTypeId::new(0)).is_err());
+    }
+}

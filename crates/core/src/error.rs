@@ -1,0 +1,132 @@
+//! Error types for instance construction and validation.
+
+use crate::ids::{AdTypeId, CustomerId, VendorId};
+use std::fmt;
+
+/// Errors raised while building or validating MUAA problem data.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CoreError {
+    /// A tag score was outside `[0, 1]` or non-finite.
+    InvalidTagScore {
+        /// Tag index of the offending score.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A tag index exceeded the tag-universe size.
+    TagIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The tag-universe size.
+        len: usize,
+    },
+    /// An activity curve was malformed.
+    InvalidActivityCurve {
+        /// Tag the curve belongs to.
+        tag: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An entity's tag vector length disagreed with the instance's tag
+    /// universe.
+    TagUniverseMismatch {
+        /// What entity the vector belonged to.
+        entity: String,
+        /// The entity's vector length.
+        got: usize,
+        /// The instance's tag-universe size.
+        expected: usize,
+    },
+    /// A customer field failed validation.
+    InvalidCustomer {
+        /// The customer.
+        id: CustomerId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A vendor field failed validation.
+    InvalidVendor {
+        /// The vendor.
+        id: VendorId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An ad type failed validation.
+    InvalidAdType {
+        /// The ad type.
+        id: AdTypeId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The instance had no ad types (every assignment needs one).
+    NoAdTypes,
+    /// An id referenced an entity that does not exist in the instance.
+    UnknownId {
+        /// Description of the dangling reference.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidTagScore { index, value } => {
+                write!(f, "tag score at index {index} is {value}, outside [0,1]")
+            }
+            CoreError::TagIndexOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "tag index {index} out of range for universe of {len} tags"
+                )
+            }
+            CoreError::InvalidActivityCurve { tag, reason } => {
+                write!(f, "invalid activity curve for tag {tag}: {reason}")
+            }
+            CoreError::TagUniverseMismatch {
+                entity,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "{entity} has a {got}-tag vector but the instance universe has {expected} tags"
+                )
+            }
+            CoreError::InvalidCustomer { id, reason } => {
+                write!(f, "invalid customer {id}: {reason}")
+            }
+            CoreError::InvalidVendor { id, reason } => write!(f, "invalid vendor {id}: {reason}"),
+            CoreError::InvalidAdType { id, reason } => write!(f, "invalid ad type {id}: {reason}"),
+            CoreError::NoAdTypes => write!(f, "instance has no ad types"),
+            CoreError::UnknownId { what } => write!(f, "unknown id: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvalidTagScore {
+            index: 3,
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("index 3"));
+        let e = CoreError::InvalidVendor {
+            id: VendorId::new(2),
+            reason: "negative radius".into(),
+        };
+        assert!(e.to_string().contains("v2"));
+        assert!(e.to_string().contains("negative radius"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::NoAdTypes);
+    }
+}

@@ -1,0 +1,112 @@
+//! 2-D geometry: points and distances.
+//!
+//! The paper maps all locations (Foursquare check-ins as well as
+//! synthetic data) into the unit square `[0,1]²` and uses Euclidean
+//! distance. Equation (4) divides by the distance, so a minimum distance
+//! clamp keeps utilities finite when a customer stands inside a shop.
+
+/// Lower clamp applied to distances before they are used as a divisor in
+/// the utility of Equation (4). See `DESIGN.md` §3.4.
+pub const DEFAULT_MIN_DISTANCE: f64 = 1e-4;
+
+/// A point in the 2-D data space.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the `sqrt` when only
+    /// comparisons are needed, e.g. inside range queries).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance clamped below by `min_distance`; this is the
+    /// `d(u_i, v_j, φ)` used as the divisor in Equation (4).
+    #[inline]
+    pub fn clamped_distance(&self, other: &Point, min_distance: f64) -> f64 {
+        self.distance(other).max(min_distance)
+    }
+
+    /// `true` iff both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Clamp the point into the axis-aligned box `[lo, hi]²`.
+    #[inline]
+    pub fn clamp_to_box(&self, lo: f64, hi: f64) -> Point {
+        Point::new(self.x.clamp(lo, hi), self.y.clamp(lo, hi))
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(&b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(0.1, 0.9);
+        let b = Point::new(0.7, 0.2);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn clamped_distance_never_below_floor() {
+        let a = Point::new(0.5, 0.5);
+        assert_eq!(
+            a.clamped_distance(&a, DEFAULT_MIN_DISTANCE),
+            DEFAULT_MIN_DISTANCE
+        );
+        let b = Point::new(0.5, 0.6);
+        assert!((a.clamped_distance(&b, DEFAULT_MIN_DISTANCE) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_to_box_clamps_both_axes() {
+        let p = Point::new(-0.5, 1.5).clamp_to_box(0.0, 1.0);
+        assert_eq!(p, Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(Point::new(0.0, 1.0).is_finite());
+        assert!(!Point::new(f64::NAN, 1.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,87 @@
+//! Dense, typed identifiers for customers, vendors and ad types.
+//!
+//! All three entity kinds are stored in `Vec`s inside a
+//! [`ProblemInstance`](crate::ProblemInstance); an id is the index into
+//! the corresponding `Vec`. Newtypes keep the three index spaces from
+//! being mixed up at compile time.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index as a `usize`, for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(raw: usize) -> Self {
+                debug_assert!(raw <= u32::MAX as usize, "id out of range");
+                Self(raw as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a customer `u_i` (index into the customer table).
+    CustomerId,
+    "u"
+);
+define_id!(
+    /// Identifier of a vendor `v_j` (index into the vendor table).
+    VendorId,
+    "v"
+);
+define_id!(
+    /// Identifier of an ad type `τ_k` (index into the ad-type table).
+    AdTypeId,
+    "t"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let c = CustomerId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.to_string(), "u7");
+        assert_eq!(VendorId::from(3usize).to_string(), "v3");
+        assert_eq!(AdTypeId::from(1u32).to_string(), "t1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(CustomerId::new(1) < CustomerId::new(2));
+        assert_eq!(VendorId::new(5), VendorId::from(5usize));
+    }
+}

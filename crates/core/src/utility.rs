@@ -1,0 +1,383 @@
+//! The utility model of Equations (4) and (5).
+//!
+//! An ad assignment instance `⟨u_i, v_j, τ_k⟩` has utility
+//!
+//! ```text
+//! λ_ijk = p_i · β_k · s(u_i, v_j, φ) / d(u_i, v_j, φ)        (Eq. 4)
+//! ```
+//!
+//! where `s` is the activity-weighted Pearson correlation of the two
+//! tag vectors (Eq. 5) and `d` the (clamped) Euclidean distance. The
+//! trait [`UtilityModel`] abstracts both factors so the same algorithms
+//! run against:
+//!
+//! * [`PearsonUtility`] — the paper's full model, and
+//! * [`TableUtility`] — explicit per-pair `(preference, distance)`
+//!   entries, exactly the form of the paper's worked Example 1
+//!   (Tables I & II).
+//!
+//! ### Numerical conventions (DESIGN.md §3.4)
+//!
+//! * Distances are clamped below by a configurable floor (default
+//!   [`crate::geo::DEFAULT_MIN_DISTANCE`]).
+//! * The weighted Pearson correlation is defined as 0 when either vector
+//!   has zero weighted variance, and similarities are clamped to
+//!   `[0, 1]`, so utilities are always finite and non-negative — a
+//!   requirement of the knapsack machinery (negative-profit items are
+//!   never part of an optimal solution anyway).
+
+use crate::activity::ActivityProfile;
+#[cfg(test)]
+use crate::activity::Timestamp;
+use crate::entities::{AdType, Customer, Vendor};
+use crate::geo::DEFAULT_MIN_DISTANCE;
+use crate::ids::{CustomerId, VendorId};
+use std::collections::HashMap;
+
+/// The utility and distance model plugged into every MUAA algorithm.
+pub trait UtilityModel: Send + Sync {
+    /// Distance `d(u_i, v_j, φ)` used both as the Eq. (4) divisor and
+    /// for the range constraint `d ≤ r_j`.
+    fn distance(&self, cid: CustomerId, customer: &Customer, vid: VendorId, vendor: &Vendor)
+        -> f64;
+
+    /// Temporal preference / similarity `s(u_i, v_j, φ)`, clamped to
+    /// `[0, 1]`.
+    fn similarity(
+        &self,
+        cid: CustomerId,
+        customer: &Customer,
+        vid: VendorId,
+        vendor: &Vendor,
+    ) -> f64;
+
+    /// Utility `λ_ijk` of Equation (4).
+    fn utility(
+        &self,
+        cid: CustomerId,
+        customer: &Customer,
+        vid: VendorId,
+        vendor: &Vendor,
+        ad: &AdType,
+    ) -> f64 {
+        let d = self.distance(cid, customer, vid, vendor);
+        if d <= 0.0 {
+            return 0.0;
+        }
+        customer.view_probability * ad.effectiveness * self.similarity(cid, customer, vid, vendor)
+            / d
+    }
+
+    /// Budget efficiency `γ_ijk = λ_ijk / c_k` (paper §IV): utility per
+    /// dollar spent.
+    fn efficiency(
+        &self,
+        cid: CustomerId,
+        customer: &Customer,
+        vid: VendorId,
+        vendor: &Vendor,
+        ad: &AdType,
+    ) -> f64 {
+        self.utility(cid, customer, vid, vendor, ad) / ad.cost.as_dollars()
+    }
+}
+
+/// The paper's full utility model: Euclidean distance plus the
+/// activity-weighted Pearson correlation of Equation (5), evaluated at
+/// the customer's arrival timestamp.
+#[derive(Clone, Debug)]
+pub struct PearsonUtility {
+    activity: ActivityProfile,
+    min_distance: f64,
+}
+
+impl PearsonUtility {
+    /// Build with an activity profile covering the instance's tag
+    /// universe.
+    pub fn new(activity: ActivityProfile) -> Self {
+        PearsonUtility {
+            activity,
+            min_distance: DEFAULT_MIN_DISTANCE,
+        }
+    }
+
+    /// Build with an "always active" profile: Eq. (5) degenerates to the
+    /// plain Pearson correlation.
+    pub fn uniform(tags: usize) -> Self {
+        PearsonUtility::new(ActivityProfile::uniform(tags))
+    }
+
+    /// Override the distance floor.
+    pub fn with_min_distance(mut self, min_distance: f64) -> Self {
+        assert!(min_distance > 0.0, "distance floor must be positive");
+        self.min_distance = min_distance;
+        self
+    }
+
+    /// The activity profile in use.
+    pub fn activity(&self) -> &ActivityProfile {
+        &self.activity
+    }
+
+    /// Weighted Pearson correlation of two equal-length slices with the
+    /// given non-negative weights (Eq. 5). Returns 0 when the total
+    /// weight or either weighted variance is (numerically) zero.
+    pub fn weighted_pearson(xs: &[f64], ys: &[f64], weights: &[f64]) -> f64 {
+        debug_assert_eq!(xs.len(), ys.len());
+        debug_assert_eq!(xs.len(), weights.len());
+        let wsum: f64 = weights.iter().sum();
+        if wsum <= 0.0 {
+            return 0.0;
+        }
+        let mean = |vals: &[f64]| -> f64 {
+            vals.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / wsum
+        };
+        let mx = mean(xs);
+        let my = mean(ys);
+        let mut cxy = 0.0;
+        let mut cxx = 0.0;
+        let mut cyy = 0.0;
+        for ((&x, &y), &w) in xs.iter().zip(ys).zip(weights) {
+            let dx = x - mx;
+            let dy = y - my;
+            cxy += w * dx * dy;
+            cxx += w * dx * dx;
+            cyy += w * dy * dy;
+        }
+        let denom = (cxx * cyy).sqrt();
+        if denom <= f64::EPSILON {
+            return 0.0;
+        }
+        cxy / denom
+    }
+}
+
+impl UtilityModel for PearsonUtility {
+    fn distance(
+        &self,
+        _cid: CustomerId,
+        customer: &Customer,
+        _vid: VendorId,
+        vendor: &Vendor,
+    ) -> f64 {
+        customer
+            .location
+            .clamped_distance(&vendor.location, self.min_distance)
+    }
+
+    fn similarity(
+        &self,
+        _cid: CustomerId,
+        customer: &Customer,
+        _vid: VendorId,
+        vendor: &Vendor,
+    ) -> f64 {
+        let tags = customer.interests.len();
+        debug_assert_eq!(tags, vendor.tags.len());
+        debug_assert_eq!(tags, self.activity.tags());
+        let mut weights = Vec::with_capacity(tags);
+        self.activity.levels_at(customer.arrival, &mut weights);
+        let s = Self::weighted_pearson(
+            customer.interests.as_slice(),
+            vendor.tags.as_slice(),
+            &weights,
+        );
+        s.clamp(0.0, 1.0)
+    }
+}
+
+/// A table-driven utility model: explicit `(preference, distance)` per
+/// (customer, vendor) pair, exactly as the paper's Example 1 presents
+/// its Table II. Pairs absent from the table have similarity 0 and
+/// infinite distance (hence are never valid).
+#[derive(Clone, Debug, Default)]
+pub struct TableUtility {
+    entries: HashMap<(u32, u32), (f64, f64)>,
+    min_distance: f64,
+}
+
+impl TableUtility {
+    /// Start an empty table.
+    pub fn new() -> Self {
+        TableUtility {
+            entries: HashMap::new(),
+            min_distance: DEFAULT_MIN_DISTANCE,
+        }
+    }
+
+    /// Record `(preference, distance)` for a pair; returns `self` for
+    /// chaining.
+    pub fn with_pair(
+        mut self,
+        cid: CustomerId,
+        vid: VendorId,
+        preference: f64,
+        distance: f64,
+    ) -> Self {
+        self.set_pair(cid, vid, preference, distance);
+        self
+    }
+
+    /// Record `(preference, distance)` for a pair.
+    pub fn set_pair(&mut self, cid: CustomerId, vid: VendorId, preference: f64, distance: f64) {
+        assert!(
+            preference.is_finite() && (0.0..=1.0).contains(&preference),
+            "preference must be in [0,1]"
+        );
+        assert!(
+            distance.is_finite() && distance >= 0.0,
+            "distance must be finite and non-negative"
+        );
+        self.entries.insert((cid.0, vid.0), (preference, distance));
+    }
+
+    /// Number of pairs in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl UtilityModel for TableUtility {
+    fn distance(&self, cid: CustomerId, _c: &Customer, vid: VendorId, _v: &Vendor) -> f64 {
+        match self.entries.get(&(cid.0, vid.0)) {
+            Some(&(_, d)) => d.max(self.min_distance),
+            None => f64::INFINITY,
+        }
+    }
+
+    fn similarity(&self, cid: CustomerId, _c: &Customer, vid: VendorId, _v: &Vendor) -> f64 {
+        self.entries.get(&(cid.0, vid.0)).map_or(0.0, |&(p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Point;
+    use crate::money::Money;
+    use crate::tags::TagVector;
+
+    fn customer_with(interests: Vec<f64>, p: f64, at: Timestamp) -> Customer {
+        Customer {
+            location: Point::new(0.0, 0.0),
+            capacity: 2,
+            view_probability: p,
+            interests: TagVector::new(interests).unwrap(),
+            arrival: at,
+        }
+    }
+
+    fn vendor_with(tags: Vec<f64>, loc: Point) -> Vendor {
+        Vendor {
+            location: loc,
+            radius: 10.0,
+            budget: Money::from_dollars(3.0),
+            tags: TagVector::new(tags).unwrap(),
+        }
+    }
+
+    #[test]
+    fn weighted_pearson_matches_hand_computation() {
+        // Uniform weights: plain Pearson of [0,1] vs [0,1] is 1.
+        let r = PearsonUtility::weighted_pearson(&[0.0, 1.0], &[0.0, 1.0], &[1.0, 1.0]);
+        assert!((r - 1.0).abs() < 1e-12);
+        // Anti-correlated vectors give -1.
+        let r = PearsonUtility::weighted_pearson(&[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]);
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_pearson_degenerate_cases() {
+        // Constant vector → zero variance → similarity 0.
+        assert_eq!(
+            PearsonUtility::weighted_pearson(&[0.5, 0.5], &[0.0, 1.0], &[1.0, 1.0]),
+            0.0
+        );
+        // Zero weights → 0.
+        assert_eq!(
+            PearsonUtility::weighted_pearson(&[0.0, 1.0], &[0.0, 1.0], &[0.0, 0.0]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn weights_change_the_correlation() {
+        // Three tags; x and y agree on tag 0/1, disagree on tag 2.
+        let x = [1.0, 0.0, 1.0];
+        let y = [1.0, 0.0, 0.0];
+        let agree = PearsonUtility::weighted_pearson(&x, &y, &[1.0, 1.0, 0.0]);
+        let disagree = PearsonUtility::weighted_pearson(&x, &y, &[0.1, 0.1, 1.0]);
+        assert!(agree > disagree);
+        assert!((agree - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_utility_applies_eq4() {
+        let model = PearsonUtility::uniform(2);
+        let c = customer_with(vec![0.0, 1.0], 0.5, Timestamp::MIDNIGHT);
+        let v = vendor_with(vec![0.0, 1.0], Point::new(0.0, 2.0));
+        let ad = AdType::new("PL", Money::from_dollars(2.0), 0.4);
+        // similarity = 1, d = 2 → λ = 0.5 * 0.4 * 1 / 2 = 0.1
+        let lam = model.utility(CustomerId::new(0), &c, VendorId::new(0), &v, &ad);
+        assert!((lam - 0.1).abs() < 1e-12);
+        // efficiency = λ / $2
+        let eff = model.efficiency(CustomerId::new(0), &c, VendorId::new(0), &v, &ad);
+        assert!((eff - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_similarity_clamps_to_zero_utility() {
+        let model = PearsonUtility::uniform(2);
+        let c = customer_with(vec![0.0, 1.0], 0.5, Timestamp::MIDNIGHT);
+        let v = vendor_with(vec![1.0, 0.0], Point::new(0.0, 1.0));
+        let ad = AdType::new("TL", Money::from_dollars(1.0), 0.1);
+        assert_eq!(
+            model.utility(CustomerId::new(0), &c, VendorId::new(0), &v, &ad),
+            0.0
+        );
+    }
+
+    #[test]
+    fn zero_distance_is_clamped_not_infinite() {
+        let model = PearsonUtility::uniform(2);
+        let c = customer_with(vec![0.0, 1.0], 1.0, Timestamp::MIDNIGHT);
+        let v = vendor_with(vec![0.0, 1.0], Point::new(0.0, 0.0));
+        let ad = AdType::new("TL", Money::from_dollars(1.0), 0.1);
+        let lam = model.utility(CustomerId::new(0), &c, VendorId::new(0), &v, &ad);
+        assert!(lam.is_finite());
+        assert!((lam - 0.1 / DEFAULT_MIN_DISTANCE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_utility_reproduces_paper_example_value() {
+        // Paper: sending a PL ad of v2 to u3 has utility
+        // 0.15 · 0.4 · (0.9 / 7.5) = 0.0072.
+        let table = TableUtility::new().with_pair(CustomerId::new(2), VendorId::new(1), 0.9, 7.5);
+        let c = customer_with(vec![0.0, 0.0], 0.15, Timestamp::MIDNIGHT);
+        let v = vendor_with(vec![0.0, 0.0], Point::new(0.0, 0.0));
+        let pl = AdType::new("PL", Money::from_dollars(2.0), 0.4);
+        let lam = table.utility(CustomerId::new(2), &c, VendorId::new(1), &v, &pl);
+        assert!((lam - 0.0072).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_utility_missing_pair_is_unreachable() {
+        let table = TableUtility::new();
+        let c = customer_with(vec![0.0], 0.5, Timestamp::MIDNIGHT);
+        let v = vendor_with(vec![0.0], Point::new(0.0, 0.0));
+        assert_eq!(
+            table.distance(CustomerId::new(0), &c, VendorId::new(0), &v),
+            f64::INFINITY
+        );
+        let ad = AdType::new("TL", Money::from_dollars(1.0), 0.1);
+        assert_eq!(
+            table.utility(CustomerId::new(0), &c, VendorId::new(0), &v, &ad),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the core domain model: AssignmentSet
+//! bookkeeping vs from-scratch feasibility checks, utility-model
+//! invariants, and instance I/O round-trips.
+
+use muaa_core::{
+    io, ActivityProfile, AdType, AdTypeId, Assignment, AssignmentSet, Customer, CustomerId,
+    InstanceBuilder, Money, PearsonUtility, Point, ProblemInstance, TagVector, Timestamp,
+    UtilityModel, Vendor, VendorId,
+};
+use proptest::prelude::*;
+
+fn instance_strategy() -> impl Strategy<Value = ProblemInstance> {
+    let customer = (
+        (0.0..1.0f64, 0.0..1.0f64),
+        1..4u32,
+        0.0..1.0f64,
+        proptest::collection::vec(0.0..1.0f64, 4),
+        0.0..24.0f64,
+    )
+        .prop_map(|((x, y), capacity, p, interests, hour)| Customer {
+            location: Point::new(x, y),
+            capacity,
+            view_probability: p,
+            interests: TagVector::new(interests).expect("valid"),
+            arrival: Timestamp::from_hours(hour),
+        });
+    let vendor = (
+        (0.0..1.0f64, 0.0..1.0f64),
+        0.0..1.5f64,
+        0u64..700,
+        proptest::collection::vec(0.0..1.0f64, 4),
+    )
+        .prop_map(|((x, y), radius, budget, tags)| Vendor {
+            location: Point::new(x, y),
+            radius,
+            budget: Money::from_cents(budget),
+            tags: TagVector::new(tags).expect("valid"),
+        });
+    (
+        proptest::collection::vec(customer, 0..8),
+        proptest::collection::vec(vendor, 0..5),
+    )
+        .prop_map(|(customers, vendors)| {
+            InstanceBuilder::new()
+                .customers(customers)
+                .vendors(vendors)
+                .ad_types([
+                    AdType::new("TL", Money::from_cents(100), 0.1),
+                    AdType::new("PL", Money::from_cents(200), 0.4),
+                ])
+                .build()
+                .expect("valid instance")
+        })
+}
+
+/// A random sequence of push/remove operations to replay.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, bool)>> {
+    proptest::collection::vec((0u8..8, 0u8..5, 0u8..2, proptest::bool::ANY), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn incremental_bookkeeping_matches_scratch_recount(
+        instance in instance_strategy(),
+        ops in ops_strategy(),
+    ) {
+        let model = PearsonUtility::uniform(4);
+        let mut set = AssignmentSet::new(&instance);
+        for (c, v, t, remove) in ops {
+            let (cn, vn) = (instance.num_customers(), instance.num_vendors());
+            if cn == 0 || vn == 0 {
+                break;
+            }
+            let a = Assignment::new(
+                CustomerId::from(c as usize % cn),
+                VendorId::from(v as usize % vn),
+                AdTypeId::from(t as usize % instance.num_ad_types()),
+            );
+            if remove {
+                set.remove(&instance, a);
+            } else {
+                set.try_push(&instance, a);
+            }
+        }
+        // Incremental counters must equal a from-scratch recount.
+        let mut load = vec![0u32; instance.num_customers()];
+        let mut spend = vec![Money::ZERO; instance.num_vendors()];
+        for a in set.assignments() {
+            load[a.customer.index()] += 1;
+            spend[a.vendor.index()] += instance.ad_type(a.ad_type).cost;
+        }
+        for (i, &l) in load.iter().enumerate() {
+            prop_assert_eq!(set.customer_load(CustomerId::from(i)), l);
+        }
+        for (j, &s) in spend.iter().enumerate() {
+            prop_assert_eq!(set.vendor_spend(VendorId::from(j)), s);
+        }
+        // try_push can never create capacity/budget/pair violations
+        // (the spatial constraint is the caller's job by contract).
+        let report = set.check_feasibility(&instance, &model);
+        for violation in &report.violations {
+            prop_assert!(
+                matches!(violation, muaa_core::Violation::OutOfRange { .. }),
+                "unexpected violation {violation:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn utility_is_nonnegative_finite_and_monotone_in_effectiveness(
+        instance in instance_strategy(),
+    ) {
+        let model = PearsonUtility::uniform(4);
+        for (cid, c) in instance.customers_enumerated() {
+            for (vid, v) in instance.vendors_enumerated() {
+                let tl = model.utility(cid, c, vid, v, instance.ad_type(AdTypeId::new(0)));
+                let pl = model.utility(cid, c, vid, v, instance.ad_type(AdTypeId::new(1)));
+                prop_assert!(tl.is_finite() && tl >= 0.0);
+                prop_assert!(pl.is_finite() && pl >= 0.0);
+                // β_PL = 4·β_TL → λ_PL = 4·λ_TL exactly (shared base).
+                prop_assert!((pl - 4.0 * tl).abs() <= 1e-9 * pl.abs().max(1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_is_symmetric_under_role_swap(
+        xs in proptest::collection::vec(0.0..1.0f64, 4),
+        ys in proptest::collection::vec(0.0..1.0f64, 4),
+        weights in proptest::collection::vec(0.0..1.0f64, 4),
+    ) {
+        let a = PearsonUtility::weighted_pearson(&xs, &ys, &weights);
+        let b = PearsonUtility::weighted_pearson(&ys, &xs, &weights);
+        prop_assert!((a - b).abs() < 1e-12);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a));
+    }
+
+    #[test]
+    fn pearson_is_scale_invariant_in_weights(
+        xs in proptest::collection::vec(0.0..1.0f64, 5),
+        ys in proptest::collection::vec(0.0..1.0f64, 5),
+        weights in proptest::collection::vec(0.01..1.0f64, 5),
+        scale in 0.1..50.0f64,
+    ) {
+        let scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let a = PearsonUtility::weighted_pearson(&xs, &ys, &weights);
+        let b = PearsonUtility::weighted_pearson(&xs, &ys, &scaled);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn io_roundtrip_preserves_everything(instance in instance_strategy()) {
+        let text = io::to_string(&instance);
+        let back = io::from_str(&text).expect("roundtrip parses");
+        prop_assert_eq!(back.num_customers(), instance.num_customers());
+        prop_assert_eq!(back.num_vendors(), instance.num_vendors());
+        prop_assert_eq!(back.num_ad_types(), instance.num_ad_types());
+        for (a, b) in back.customers().iter().zip(instance.customers()) {
+            prop_assert_eq!(a.location, b.location);
+            prop_assert_eq!(a.capacity, b.capacity);
+            prop_assert_eq!(a.view_probability, b.view_probability);
+            prop_assert_eq!(a.arrival.hours(), b.arrival.hours());
+            prop_assert_eq!(a.interests.as_slice(), b.interests.as_slice());
+        }
+        for (a, b) in back.vendors().iter().zip(instance.vendors()) {
+            prop_assert_eq!(a.location, b.location);
+            prop_assert_eq!(a.radius, b.radius);
+            prop_assert_eq!(a.budget, b.budget);
+            prop_assert_eq!(a.tags.as_slice(), b.tags.as_slice());
+        }
+    }
+
+    #[test]
+    fn activity_levels_stay_in_unit_interval(
+        curves in proptest::collection::vec(
+            proptest::collection::vec(0.0..1.0f64, 24), 1..4
+        ),
+        hour in 0.0..48.0f64,
+    ) {
+        let profile = ActivityProfile::from_hourly(&curves).expect("valid curves");
+        for tag in 0..curves.len() {
+            let level = profile.level(tag, Timestamp::from_hours(hour));
+            prop_assert!((0.0..=1.0).contains(&level), "level {level}");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Ad-type sets.
+//!
+//! The paper initialises ad-type prices from average cost-per-click and
+//! effectiveness from average click-through rates of an AdWords
+//! statistics report; its worked example (Table I) uses a $1/0.1 text
+//! link and a $2/0.4 photo link.
+
+use muaa_core::{AdType, Money};
+
+/// The paper's Table I: Text Link ($1, 0.1) and Photo Link ($2, 0.4).
+pub fn paper_table1() -> Vec<AdType> {
+    vec![
+        AdType::new("Text Link", Money::from_dollars(1.0), 0.1),
+        AdType::new("Photo Link", Money::from_dollars(2.0), 0.4),
+    ]
+}
+
+/// An AdWords-statistics-like triple: prices track average CPC tiers
+/// and effectiveness grows with price (the paper's "the higher their
+/// costs are, the better their effects are" assumption). Used as the
+/// default `q = 3` in experiments.
+pub fn adwords_like() -> Vec<AdType> {
+    vec![
+        AdType::new("Text Link", Money::from_dollars(1.0), 0.1),
+        AdType::new("Photo Link", Money::from_dollars(2.0), 0.4),
+        AdType::new("In-App Video", Money::from_dollars(3.0), 0.55),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muaa_core::AdTypeId;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = paper_table1();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].cost, Money::from_dollars(1.0));
+        assert_eq!(t[0].effectiveness, 0.1);
+        assert_eq!(t[1].cost, Money::from_dollars(2.0));
+        assert_eq!(t[1].effectiveness, 0.4);
+    }
+
+    #[test]
+    fn costlier_types_are_more_effective() {
+        for set in [paper_table1(), adwords_like()] {
+            for w in set.windows(2) {
+                assert!(w[0].cost < w[1].cost);
+                assert!(w[0].effectiveness < w[1].effectiveness);
+            }
+            for (k, t) in set.iter().enumerate() {
+                assert!(t.validate(AdTypeId::from(k)).is_ok());
+            }
+        }
+    }
+}

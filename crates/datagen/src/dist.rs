@@ -1,0 +1,203 @@
+//! Sampling primitives: truncated Gaussians and Zipf.
+//!
+//! The paper draws every per-entity parameter (budget, radius,
+//! capacity, view probability) from a Gaussian
+//! `N((lo+hi)/2, (hi−lo)²)` truncated to `[lo, hi]`. Zipf sampling
+//! models the heavily skewed venue popularity seen in check-in data.
+
+use rand::Rng;
+
+/// Draw a standard normal via Box–Muller (we keep the dependency set to
+/// `rand` alone; `rand_distr` would also work).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Gaussian `N(mean, sd²)` truncated to `[lo, hi]` by rejection, with a
+/// clamp fallback after 64 rejections (only reachable for pathological
+/// parameterisations; the paper's `sd = hi − lo` accepts quickly).
+pub fn truncated_gaussian<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    sd: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+    if lo == hi {
+        return lo;
+    }
+    for _ in 0..64 {
+        let x = mean + sd * standard_normal(rng);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    (mean + sd * standard_normal(rng)).clamp(lo, hi)
+}
+
+/// The paper's parameter draw: Gaussian centred on the range midpoint
+/// with standard deviation the range width, truncated to the range.
+pub fn paper_range_sample<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    truncated_gaussian(rng, (lo + hi) / 2.0, hi - lo, lo, hi)
+}
+
+/// A Zipf sampler over `{0, …, n−1}` with exponent `s`: rank `k` has
+/// probability proportional to `1/(k+1)^s`. Precomputes the CDF for
+/// `O(log n)` draws.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler; `n ≥ 1`, `s ≥ 0` (s = 0 is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one element");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `{0, …, n−1}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Sample an hour of day (fractional) from a 24-slot weight curve by
+/// inverse-CDF with uniform jitter inside the chosen slot. Returns a
+/// value in `[0, 24)`. Falls back to uniform when all weights vanish.
+pub fn sample_hour<R: Rng + ?Sized>(rng: &mut R, hourly_weights: &[f64; 24]) -> f64 {
+    let total: f64 = hourly_weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen::<f64>() * 24.0;
+    }
+    let mut u = rng.gen::<f64>() * total;
+    for (h, &w) in hourly_weights.iter().enumerate() {
+        if u < w {
+            return h as f64 + rng.gen::<f64>();
+        }
+        u -= w;
+    }
+    23.0 + rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn truncated_gaussian_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let x = paper_range_sample(&mut rng, 10.0, 20.0);
+            assert!((10.0..=20.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn degenerate_range_returns_point() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(paper_range_sample(&mut rng, 5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn truncated_gaussian_centres_on_midpoint() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mean: f64 = (0..5000)
+            .map(|_| paper_range_sample(&mut rng, 0.0, 1.0))
+            .sum::<f64>()
+            / 5000.0;
+        assert!((mean - 0.5).abs() < 0.05, "sample mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..20000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_low_ranks() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let z = Zipf::new(100, 1.0);
+        let mut counts = [0usize; 100];
+        for _ in 0..20000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rough check of the 1/k shape: rank 0 ≈ 10× rank 9.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!(ratio > 5.0 && ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = [0usize; 10];
+        for _ in 0..10000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn sample_hour_follows_the_curve() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut weights = [0.0_f64; 24];
+        weights[8] = 1.0; // only 8am is active
+        for _ in 0..200 {
+            let h = sample_hour(&mut rng, &weights);
+            assert!((8.0..9.0).contains(&h), "hour {h}");
+        }
+        // All-zero curve falls back to uniform and stays in range.
+        let zero = [0.0_f64; 24];
+        for _ in 0..100 {
+            let h = sample_hour(&mut rng, &zero);
+            assert!((0.0..24.0).contains(&h));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Learning round-trip: estimate the activity profile from the
+//! simulator's own check-in log and verify it recovers the diurnal
+//! structure the simulator generated with — the full "learn α_x(φ)
+//! from history" loop a deployed broker would run.
+
+use muaa_core::Timestamp;
+use muaa_datagen::{estimate_activity, ActivityEstimation, FoursquareConfig, FoursquareSim};
+
+#[test]
+fn estimated_activity_recovers_diurnal_structure() {
+    let sim = FoursquareSim::generate(&FoursquareConfig {
+        checkins: 6_000,
+        venues: 300,
+        users: 200,
+        ..Default::default()
+    });
+    assert_eq!(sim.checkin_log.len(), sim.instance.num_customers());
+
+    let learned = estimate_activity(
+        &sim.taxonomy,
+        sim.checkin_log.iter().copied(),
+        ActivityEstimation::default(),
+    );
+
+    let tax = &sim.taxonomy;
+    // Nightlife should be learned as a night category; professional
+    // places as a daytime one — matching the generating templates.
+    let nightlife = tax.by_name("Nightlife Spot").unwrap();
+    let night = learned.level(nightlife.index(), Timestamp::from_hours(22.5));
+    let morning = learned.level(nightlife.index(), Timestamp::from_hours(9.5));
+    assert!(
+        night > morning,
+        "nightlife: night {night} vs morning {morning}"
+    );
+
+    let office = tax.by_name("Office").unwrap();
+    let work = learned.level(office.index(), Timestamp::from_hours(11.0));
+    let late = learned.level(office.index(), Timestamp::from_hours(23.5));
+    assert!(work > late, "office: work {work} vs late {late}");
+}
+
+#[test]
+fn estimated_profile_correlates_with_generating_templates() {
+    let sim = FoursquareSim::generate(&FoursquareConfig {
+        checkins: 8_000,
+        venues: 300,
+        users: 200,
+        ..Default::default()
+    });
+    let learned = estimate_activity(
+        &sim.taxonomy,
+        sim.checkin_log.iter().copied(),
+        ActivityEstimation::default(),
+    );
+    let truth = sim.model.activity();
+
+    // Average Pearson correlation between learned and generating
+    // hourly curves over the leaf categories with enough data.
+    let mut correlations = Vec::new();
+    for tag in sim.taxonomy.leaves() {
+        let a: Vec<f64> = (0..24)
+            .map(|h| learned.level(tag.index(), Timestamp::from_hours(h as f64)))
+            .collect();
+        let b: Vec<f64> = (0..24)
+            .map(|h| truth.level(tag.index(), Timestamp::from_hours(h as f64)))
+            .collect();
+        // Skip unobserved tags (learned curve is flat 1.0).
+        if a.iter().all(|&x| (x - 1.0).abs() < 1e-9) {
+            continue;
+        }
+        let corr = pearson(&a, &b);
+        if corr.is_finite() {
+            correlations.push(corr);
+        }
+    }
+    assert!(correlations.len() > 10, "too few observed categories");
+    let mean = correlations.iter().sum::<f64>() / correlations.len() as f64;
+    assert!(mean > 0.5, "mean learned-vs-truth correlation {mean}");
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cab = 0.0;
+    let mut caa = 0.0;
+    let mut cbb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cab += (x - ma) * (y - mb);
+        caa += (x - ma) * (x - ma);
+        cbb += (y - mb) * (y - mb);
+    }
+    cab / (caa * cbb).sqrt()
+}

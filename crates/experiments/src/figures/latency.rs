@@ -1,0 +1,66 @@
+//! Per-customer response latency of the ONLINE algorithm (paper §V
+//! summary: "ONLINE can respond to each incoming customer very quickly
+//! in less than 1 second even when there are 20K vendors").
+//!
+//! Sweeps the vendor count and reports mean and worst per-arrival
+//! service latency of a [`BrokerSession`]
+//! (`muaa_algorithms::online::session`).
+
+use crate::report::Table;
+use muaa_algorithms::online::session::BrokerSession;
+use muaa_core::PearsonUtility;
+use muaa_datagen::{generate_synthetic, Range, SyntheticConfig};
+
+/// Run the latency sweep: `customers` arrivals against each vendor
+/// count in `vendor_counts`.
+pub fn run(customers: usize, vendor_counts: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "ONLINE per-customer response latency vs vendor count",
+        "n (vendors)",
+        vec!["mean (ms)".into(), "max (ms)".into(), "ads pushed".into()],
+    );
+    for &n in vendor_counts {
+        let cfg = SyntheticConfig {
+            customers,
+            vendors: n,
+            // Paper-default radii: each arrival sees a handful of the
+            // n vendors, which is what the index is for.
+            radius: Range::new(0.02, 0.03),
+            seed,
+            ..Default::default()
+        };
+        let tags = cfg.tags;
+        let instance = generate_synthetic(&cfg);
+        let model = PearsonUtility::uniform(tags);
+        let mut session = BrokerSession::start(&instance, &model);
+        let pushed = session.serve_remaining();
+        let stats = session.latency();
+        t.push_row(
+            n.to_string(),
+            vec![
+                stats.mean().as_secs_f64() * 1e3,
+                stats.max.as_secs_f64() * 1e3,
+                pushed as f64,
+            ],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_table_has_one_row_per_vendor_count() {
+        let t = run(300, &[50, 200], 5);
+        assert_eq!(t.rows.len(), 2);
+        for (_, values) in &t.rows {
+            let (mean, max, pushed) = (values[0], values[1], values[2]);
+            assert!(mean >= 0.0 && max >= mean);
+            assert!(pushed >= 0.0);
+            // Far below the paper's 1s bound even in debug builds.
+            assert!(max < 1_000.0, "per-customer latency {max} ms");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! One runner per paper table/figure, plus ratio studies and
+//! ablations. See `DESIGN.md` §4 for the experiment index.
+
+pub mod ablations;
+pub mod bounds_study;
+pub mod example1;
+pub mod latency;
+pub mod ratios;
+pub mod real_sweeps;
+pub mod settings;
+pub mod synthetic_sweeps;
+
+use crate::harness::{run_competitors, CompetitorSet, RunResult};
+use crate::report::Table;
+use muaa_core::{ProblemInstance, UtilityModel};
+
+/// Build the paired (utility, time) tables of one figure from per-sweep
+/// runs. `points` is a list of (row label, instance, model).
+pub(crate) fn sweep_tables(
+    figure: &str,
+    param: &str,
+    dataset: &str,
+    set: CompetitorSet,
+    seed: u64,
+    points: impl IntoIterator<Item = (String, ProblemInstance, Box<dyn UtilityModel>)>,
+) -> (Table, Table) {
+    let labels = set.labels();
+    let mut utility = Table::new(
+        format!("Fig {figure}(a): total utility vs {param} ({dataset})"),
+        param,
+        labels.clone(),
+    );
+    let mut time = Table::new(
+        format!("Fig {figure}(b): running time (s) vs {param} ({dataset})"),
+        param,
+        labels,
+    );
+    for (label, instance, model) in points {
+        let results: Vec<RunResult> = run_competitors(&instance, model.as_ref(), set, seed);
+        utility.push_row(label.clone(), results.iter().map(|r| r.utility).collect());
+        time.push_row(label, results.iter().map(|r| r.seconds).collect());
+    }
+    (utility, time)
+}

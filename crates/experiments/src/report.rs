@@ -1,0 +1,220 @@
+//! Report tables: the rows/series the paper's figures plot, printable
+//! as aligned text and exportable as CSV.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One result table: a swept parameter (row label) against one column
+/// per solver.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Title, e.g. "Fig 3(a): total utility vs [B-,B+] (real-sim data)".
+    pub title: String,
+    /// Name of the swept parameter, e.g. "[B-,B+]".
+    pub param: String,
+    /// Column (solver) names.
+    pub columns: Vec<String>,
+    /// Rows: (parameter value label, one value per column).
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Start an empty table.
+    pub fn new(title: impl Into<String>, param: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            param: param.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; the value count must match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut header: Vec<String> = vec![self.param.clone()];
+        header.extend(self.columns.iter().cloned());
+        let mut body: Vec<Vec<String>> = Vec::with_capacity(self.rows.len());
+        for (label, values) in &self.rows {
+            let mut row = vec![label.clone()];
+            row.extend(values.iter().map(|v| format_value(*v)));
+            body.push(row);
+        }
+        let widths: Vec<usize> = (0..header.len())
+            .map(|c| {
+                body.iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(header[c].len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:>width$}", cell, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&header));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &body {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Serialize as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{},{}",
+            escape(&self.param),
+            self.columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for (label, values) in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{}",
+                escape(label),
+                values
+                    .iter()
+                    .map(|v| format!("{v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV next to siblings in `dir`, deriving the file name
+    /// from the title ("Fig 3(a): …" → `fig_3_a.csv`).
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let stem: String = self
+            .title
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .take(6)
+            .collect::<Vec<_>>()
+            .join("_");
+        let path = dir.join(format!("{stem}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Compact numeric formatting: scientific for tiny values, fixed
+/// otherwise.
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() < 1e-3 || v.abs() >= 1e6 {
+        format!("{v:.3e}")
+    } else if v.abs() < 1.0 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "Fig 3(a): utility vs budget",
+            "[B-,B+]",
+            vec!["RANDOM".into(), "RECON".into()],
+        );
+        t.push_row("[1,5]", vec![0.0012, 0.0034]);
+        t.push_row("[5,10]", vec![0.002, 0.0051]);
+        t
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let s = table().render();
+        assert!(s.contains("Fig 3(a)"));
+        assert!(s.contains("RANDOM"));
+        assert!(s.contains("[5,10]"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("\"[B-,B+]\","));
+        // Labels containing commas are quoted.
+        assert!(lines[1].starts_with("\"[1,5]\","));
+        assert!(lines[1].ends_with("0.0012,0.0034"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = table();
+        t.push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn write_csv_derives_filename() {
+        let dir = std::env::temp_dir().join("muaa_report_test");
+        let path = table().write_csv(&dir).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("fig"));
+        assert!(path.exists());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(0.5), "0.5000");
+        assert!(format_value(1e-9).contains('e'));
+        assert_eq!(format_value(12.3456), "12.346");
+    }
+}

@@ -1,0 +1,118 @@
+//! Experiment scale presets.
+//!
+//! The paper's real dataset has 441,060 check-in customers and 7,222
+//! vendors; running every sweep point at that size is a cluster job,
+//! not a laptop benchmark. [`Scale`] fixes the base sizes used by the
+//! figure runners; [`Scale::paper`] matches the paper's magnitudes,
+//! [`Scale::default`] is the laptop preset the committed
+//! `EXPERIMENTS.md` numbers were produced at, and [`Scale::quick`] is a
+//! smoke-test size for CI.
+
+/// Base instance sizes for the figure runners.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Check-ins (= customers) for the real-data figures (3, 4, 6).
+    pub real_checkins: usize,
+    /// Venues (= vendors) for the real-data figures.
+    pub real_venues: usize,
+    /// Users behind the check-ins.
+    pub real_users: usize,
+    /// Customers for the capacity figure (5), which the paper runs with
+    /// few customers and many vendors.
+    pub fig5_customers: usize,
+    /// Vendors for the capacity figure (5).
+    pub fig5_vendors: usize,
+    /// Customer counts swept by the synthetic figure 7.
+    pub fig7_customers: [usize; 5],
+    /// Vendor count held fixed in figure 7.
+    pub fig7_vendors: usize,
+    /// Vendor counts swept by the synthetic figure 8.
+    pub fig8_vendors: [usize; 5],
+    /// Customer count held fixed in figure 8.
+    pub fig8_customers: usize,
+    /// Instances per sweep point for ratio experiments.
+    pub ratio_trials: usize,
+}
+
+impl Scale {
+    /// The paper's magnitudes (Table IV / §V-A). Heavy: hours of CPU.
+    pub fn paper() -> Self {
+        Scale {
+            real_checkins: 441_060,
+            real_venues: 7_222,
+            real_users: 2_293,
+            fig5_customers: 500,
+            fig5_vendors: 5_000,
+            fig7_customers: [4_000, 10_000, 25_000, 50_000, 100_000],
+            fig7_vendors: 500,
+            fig8_vendors: [300, 500, 1_000, 1_500, 2_000],
+            fig8_customers: 10_000,
+            ratio_trials: 20,
+        }
+    }
+
+    /// Laptop preset. The real-data figures run at 10K customers /
+    /// 500 vendors — the working size the paper itself quotes for its
+    /// Figure 6 ("10K customers and 500 vendors") — and Figure 5 keeps
+    /// the paper's exact 500-customer / 5,000-vendor setup; only the
+    /// Figure 7/8 sweep end-points are scaled down. Minutes of CPU.
+    pub fn laptop() -> Self {
+        Scale {
+            real_checkins: 10_000,
+            real_venues: 500,
+            real_users: 400,
+            fig5_customers: 500,
+            fig5_vendors: 5_000,
+            fig7_customers: [2_000, 5_000, 12_000, 25_000, 50_000],
+            fig7_vendors: 300,
+            fig8_vendors: [150, 250, 500, 750, 1_000],
+            fig8_customers: 5_000,
+            ratio_trials: 20,
+        }
+    }
+
+    /// Smoke-test preset (seconds of CPU; shapes still visible).
+    pub fn quick() -> Self {
+        Scale {
+            real_checkins: 2_000,
+            real_venues: 150,
+            real_users: 120,
+            fig5_customers: 150,
+            fig5_vendors: 400,
+            fig7_customers: [500, 1_000, 2_000, 4_000, 8_000],
+            fig7_vendors: 80,
+            fig8_vendors: [40, 80, 160, 240, 320],
+            fig8_customers: 1_500,
+            ratio_trials: 8,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::laptop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        let q = Scale::quick();
+        let l = Scale::laptop();
+        let p = Scale::paper();
+        assert!(q.real_checkins < l.real_checkins);
+        assert!(l.real_checkins < p.real_checkins);
+        assert!(q.fig8_customers < l.fig8_customers);
+    }
+
+    #[test]
+    fn sweeps_are_increasing() {
+        for s in [Scale::quick(), Scale::laptop(), Scale::paper()] {
+            assert!(s.fig7_customers.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.fig8_vendors.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Classic 0-1 knapsack (exact DP).
+//!
+//! Included because the paper's NP-hardness proof (Theorem II.1)
+//! reduces 0-1 knapsack to MUAA: a single customer, a single vendor,
+//! and one "ad type" per knapsack item. The integration tests replay
+//! that reduction and check the MUAA exact solver agrees with this DP.
+
+/// A 0-1 knapsack item.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Item {
+    /// Weight (cost) in integer units.
+    pub weight: u64,
+    /// Value; must be finite and non-negative.
+    pub value: f64,
+}
+
+impl Item {
+    /// Construct an item.
+    pub fn new(weight: u64, value: f64) -> Self {
+        debug_assert!(value.is_finite() && value >= 0.0);
+        Item { weight, value }
+    }
+}
+
+/// An exact 0-1 knapsack solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    /// Indices of the chosen items, ascending.
+    pub chosen: Vec<usize>,
+    /// Total value.
+    pub value: f64,
+    /// Total weight.
+    pub weight: u64,
+}
+
+/// Solve 0-1 knapsack exactly by DP over the weight axis with choice
+/// reconstruction. `O(items · capacity)` time, `O(items · capacity)`
+/// bits of memory for the take/skip table.
+pub fn solve(items: &[Item], capacity: u64) -> Solution {
+    let cap = capacity as usize;
+    let mut dp = vec![0.0_f64; cap + 1];
+    // take[i][w] packed as a bitset row per item.
+    let row_words = cap / 64 + 1;
+    let mut take = vec![0u64; items.len() * row_words];
+
+    for (i, item) in items.iter().enumerate() {
+        if item.weight > capacity || item.value <= 0.0 {
+            continue;
+        }
+        let w0 = item.weight as usize;
+        for w in (w0..=cap).rev() {
+            let cand = dp[w - w0] + item.value;
+            if cand > dp[w] {
+                dp[w] = cand;
+                take[i * row_words + w / 64] |= 1 << (w % 64);
+            }
+        }
+    }
+
+    // Reconstruct from full capacity (dp is monotone in w).
+    let mut w = cap;
+    let mut chosen = Vec::new();
+    let mut value = 0.0;
+    let mut weight = 0u64;
+    for i in (0..items.len()).rev() {
+        if take[i * row_words + w / 64] >> (w % 64) & 1 == 1 {
+            chosen.push(i);
+            value += items[i].value;
+            weight += items[i].weight;
+            w -= items[i].weight as usize;
+        }
+    }
+    chosen.reverse();
+    Solution {
+        chosen,
+        value,
+        weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs() {
+        let s = solve(&[], 10);
+        assert_eq!(s.value, 0.0);
+        assert!(s.chosen.is_empty());
+        let s = solve(&[Item::new(5, 3.0)], 0);
+        assert!(s.chosen.is_empty());
+    }
+
+    #[test]
+    fn textbook_instance() {
+        // Items (w, v): (1,1), (3,4), (4,5), (5,7); cap 7 → best 9 = {3,4}.
+        let items = [
+            Item::new(1, 1.0),
+            Item::new(3, 4.0),
+            Item::new(4, 5.0),
+            Item::new(5, 7.0),
+        ];
+        let s = solve(&items, 7);
+        assert_eq!(s.value, 9.0);
+        assert_eq!(s.chosen, vec![1, 2]);
+        assert_eq!(s.weight, 7);
+    }
+
+    #[test]
+    fn oversized_items_skipped() {
+        let items = [Item::new(100, 50.0), Item::new(2, 1.0)];
+        let s = solve(&items, 10);
+        assert_eq!(s.chosen, vec![1]);
+        assert_eq!(s.value, 1.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..60 {
+            let n = rng.gen_range(0..10);
+            let items: Vec<Item> = (0..n)
+                .map(|_| Item::new(rng.gen_range(1..30), rng.gen::<f64>()))
+                .collect();
+            let cap = rng.gen_range(0..60);
+            let got = solve(&items, cap);
+            // Brute force over all subsets.
+            let mut best = 0.0f64;
+            for mask in 0u32..(1 << n) {
+                let (mut w, mut v) = (0u64, 0.0);
+                for (i, item) in items.iter().enumerate() {
+                    if mask >> i & 1 == 1 {
+                        w += item.weight;
+                        v += item.value;
+                    }
+                }
+                if w <= cap && v > best {
+                    best = v;
+                }
+            }
+            assert!(
+                (got.value - best).abs() < 1e-9,
+                "dp {} brute {}",
+                got.value,
+                best
+            );
+            // Bookkeeping consistency.
+            let v: f64 = got.chosen.iter().map(|&i| items[i].value).sum();
+            let w: u64 = got.chosen.iter().map(|&i| items[i].weight).sum();
+            assert!((v - got.value).abs() < 1e-9);
+            assert_eq!(w, got.weight);
+            assert!(w <= cap);
+        }
+    }
+}

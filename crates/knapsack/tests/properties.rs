@@ -1,0 +1,154 @@
+//! Property-based tests for the knapsack substrate: solver agreement,
+//! guarantee bounds, and structural invariants under arbitrary inputs.
+
+use muaa_knapsack::{
+    hull_indices, zero_one, MckpExactDp, MckpFptas, MckpItem, MckpLpGreedy, MckpProblem, MckpSolver,
+};
+use proptest::prelude::*;
+
+fn item_strategy() -> impl Strategy<Value = MckpItem> {
+    (1u64..400, 0.0..5.0f64).prop_map(|(cost, profit)| MckpItem::new(cost, profit))
+}
+
+fn problem_strategy() -> impl Strategy<Value = MckpProblem> {
+    (
+        0u64..800,
+        proptest::collection::vec(proptest::collection::vec(item_strategy(), 1..5), 0..7),
+    )
+        .prop_map(|(cap, classes)| {
+            let mut p = MckpProblem::new(cap);
+            for class in classes {
+                p.add_class(class);
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exact_dp_is_optimal_and_feasible(p in problem_strategy()) {
+        let sol = MckpExactDp.solve(&p);
+        prop_assert!(sol.validate(&p));
+        // Exhaustive check on these small sizes.
+        let brute = brute_force(&p);
+        prop_assert!((sol.profit - brute).abs() < 1e-9, "dp {} brute {}", sol.profit, brute);
+    }
+
+    #[test]
+    fn lp_greedy_holds_half_guarantee_and_bound(p in problem_strategy()) {
+        let detail = MckpLpGreedy.solve_detailed(&p);
+        let exact = MckpExactDp.solve(&p);
+        prop_assert!(detail.solution.validate(&p));
+        prop_assert!(detail.solution.profit >= 0.5 * exact.profit - 1e-9);
+        prop_assert!(detail.lp_bound >= exact.profit - 1e-9);
+    }
+
+    #[test]
+    fn fptas_honours_epsilon(p in problem_strategy(), eps in 0.02..0.6f64) {
+        let sol = MckpFptas::new(eps).solve(&p);
+        let exact = MckpExactDp.solve(&p);
+        prop_assert!(sol.validate(&p));
+        prop_assert!(
+            sol.profit >= (1.0 - eps) * exact.profit - 1e-9,
+            "ε={eps}: {} < (1-ε)·{}", sol.profit, exact.profit
+        );
+    }
+
+    #[test]
+    fn hull_is_subset_with_decreasing_increments(
+        items in proptest::collection::vec(item_strategy(), 0..12),
+    ) {
+        let hull = hull_indices(&items);
+        // Subset of valid indices, strictly increasing cost.
+        let mut prev_cost = 0u64;
+        let mut prev_profit = 0.0f64;
+        let mut prev_eff = f64::INFINITY;
+        for (pos, &i) in hull.iter().enumerate() {
+            prop_assert!(i < items.len());
+            let it = items[i];
+            if pos > 0 {
+                prop_assert!(it.cost > prev_cost, "hull costs must strictly increase");
+            }
+            prop_assert!(it.profit > prev_profit, "hull profits must strictly increase");
+            let eff = (it.profit - prev_profit) / (it.cost - prev_cost).max(1) as f64;
+            prop_assert!(eff <= prev_eff + 1e-12, "increments must not gain efficiency");
+            prev_cost = it.cost;
+            prev_profit = it.profit;
+            prev_eff = eff;
+        }
+    }
+
+    #[test]
+    fn hull_preserves_the_lp_optimum(p in problem_strategy()) {
+        // The hull reduction is exact for the *LP relaxation*: the
+        // fractional optimum only ever mixes hull points. (It is NOT
+        // exact for the integral optimum — an LP-dominated cheap item
+        // can be the only thing that fits a tight budget — which is
+        // precisely why the rounding step needs its best-single-item
+        // fallback.)
+        let mut reduced = MckpProblem::new(p.capacity());
+        for class in p.classes() {
+            let hull = hull_indices(class);
+            reduced.add_class(hull.iter().map(|&i| class[i]).collect());
+        }
+        let full_lp = MckpLpGreedy.solve_detailed(&p).lp_bound;
+        let red_lp = MckpLpGreedy.solve_detailed(&reduced).lp_bound;
+        prop_assert!(
+            (full_lp - red_lp).abs() < 1e-9 * full_lp.abs().max(1.0),
+            "full LP {full_lp} vs hull-reduced LP {red_lp}"
+        );
+        // And the reduced integral optimum can only be ≤ the full one.
+        let full = MckpExactDp.solve(&p).profit;
+        let red = MckpExactDp.solve(&reduced).profit;
+        prop_assert!(red <= full + 1e-9, "reduced {red} exceeds full {full}");
+    }
+
+    #[test]
+    fn zero_one_dp_matches_subset_enumeration(
+        items in proptest::collection::vec((1u64..25, 0.0..3.0f64), 0..10),
+        cap in 0u64..60,
+    ) {
+        let items: Vec<zero_one::Item> =
+            items.into_iter().map(|(w, v)| zero_one::Item::new(w, v)).collect();
+        let sol = zero_one::solve(&items, cap);
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << items.len()) {
+            let (mut w, mut v) = (0u64, 0.0);
+            for (i, item) in items.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    w += item.weight;
+                    v += item.value;
+                }
+            }
+            if w <= cap {
+                best = best.max(v);
+            }
+        }
+        prop_assert!((sol.value - best).abs() < 1e-9);
+        let w: u64 = sol.chosen.iter().map(|&i| items[i].weight).sum();
+        prop_assert!(w <= cap);
+        prop_assert_eq!(w, sol.weight);
+    }
+}
+
+/// Enumerate every choice combination.
+fn brute_force(p: &MckpProblem) -> f64 {
+    fn rec(p: &MckpProblem, class: usize, cost: u64, profit: f64, best: &mut f64) {
+        if cost > p.capacity() {
+            return;
+        }
+        *best = best.max(profit);
+        if class == p.num_classes() {
+            return;
+        }
+        rec(p, class + 1, cost, profit, best);
+        for item in &p.classes()[class] {
+            rec(p, class + 1, cost + item.cost, profit + item.profit, best);
+        }
+    }
+    let mut best = 0.0;
+    rec(p, 0, 0, 0.0, &mut best);
+    best
+}

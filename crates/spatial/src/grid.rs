@@ -1,0 +1,352 @@
+//! A uniform grid index over a static set of points.
+//!
+//! Points are bucketed into square cells; a circular range query visits
+//! only the cells overlapping the query disc. For MUAA workloads
+//! (points roughly in `[0,1]²`, query radii a few percent of the space)
+//! this is the textbook structure: build is `O(n)`, queries touch
+//! `O(r²/cell²)` cells.
+
+use muaa_core::Point;
+
+/// A grid index over an immutable point set. Entries are `(index,
+/// point)` pairs where `index` is the caller's identifier (e.g. a
+/// customer index).
+///
+/// ```
+/// use muaa_core::Point;
+/// use muaa_spatial::GridIndex;
+///
+/// let points = vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9), Point::new(0.12, 0.1)];
+/// let index = GridIndex::new(points, 0.05);
+/// let mut hits = index.range_query(Point::new(0.1, 0.1), 0.05);
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![0, 2]);
+/// assert_eq!(index.k_nearest(Point::new(0.8, 0.8), 1), vec![1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    /// All points, in insertion order; `cells` stores indices into this.
+    points: Vec<Point>,
+    /// Flattened cell buckets: `cell_of[c]` lists point indices.
+    buckets: Vec<Vec<u32>>,
+    cols: usize,
+    rows: usize,
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+}
+
+impl GridIndex {
+    /// Build an index over `points` with a target cell size. The cell
+    /// size is clamped so the grid never exceeds ~4M cells.
+    pub fn with_cell_size(points: Vec<Point>, cell: f64) -> Self {
+        assert!(cell.is_finite() && cell > 0.0, "cell size must be positive");
+        let (min_x, min_y, max_x, max_y) = bounds(&points);
+        let width = (max_x - min_x).max(f64::MIN_POSITIVE);
+        let height = (max_y - min_y).max(f64::MIN_POSITIVE);
+        let mut cell = cell;
+        // Clamp the grid to a sane number of cells.
+        const MAX_CELLS: f64 = 4_000_000.0;
+        if (width / cell) * (height / cell) > MAX_CELLS {
+            cell = ((width * height) / MAX_CELLS).sqrt();
+        }
+        let cols = ((width / cell).ceil() as usize).max(1);
+        let rows = ((height / cell).ceil() as usize).max(1);
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for (i, p) in points.iter().enumerate() {
+            let (cx, cy) = cell_of(p, min_x, min_y, cell, cols, rows);
+            buckets[cy * cols + cx].push(i as u32);
+        }
+        GridIndex {
+            points,
+            buckets,
+            cols,
+            rows,
+            cell,
+            min_x,
+            min_y,
+        }
+    }
+
+    /// Build with a cell size heuristically matched to `expected_radius`
+    /// (cells the size of the typical query radius minimise the number
+    /// of cells visited per query without over-bucketing).
+    pub fn new(points: Vec<Point>, expected_radius: f64) -> Self {
+        let r = if expected_radius.is_finite() && expected_radius > 1e-9 {
+            expected_radius
+        } else {
+            0.01
+        };
+        Self::with_cell_size(points, r)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` iff no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point stored for `index`.
+    pub fn point(&self, index: usize) -> Point {
+        self.points[index]
+    }
+
+    /// Indices of all points within `radius` (inclusive) of `center`,
+    /// appended to `out` in unspecified order. `out` is cleared first.
+    pub fn range_query_into(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if self.points.is_empty() || radius < 0.0 || radius.is_nan() {
+            return;
+        }
+        let r2 = radius * radius;
+        let (lo_cx, lo_cy) = cell_of(
+            &Point::new(center.x - radius, center.y - radius),
+            self.min_x,
+            self.min_y,
+            self.cell,
+            self.cols,
+            self.rows,
+        );
+        let (hi_cx, hi_cy) = cell_of(
+            &Point::new(center.x + radius, center.y + radius),
+            self.min_x,
+            self.min_y,
+            self.cell,
+            self.cols,
+            self.rows,
+        );
+        for cy in lo_cy..=hi_cy {
+            for cx in lo_cx..=hi_cx {
+                for &idx in &self.buckets[cy * self.cols + cx] {
+                    if self.points[idx as usize].distance_sq(&center) <= r2 {
+                        out.push(idx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper around [`range_query_into`](Self::range_query_into).
+    pub fn range_query(&self, center: Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.range_query_into(center, radius, &mut out);
+        out
+    }
+
+    /// The `k` nearest points to `center` (ties broken by index),
+    /// sorted by increasing distance. Uses expanding ring search over
+    /// the grid.
+    pub fn k_nearest(&self, center: Point, k: usize) -> Vec<u32> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let k = k.min(self.points.len());
+        // Expand the search radius until at least k candidates are found,
+        // then do a final pass at the confirmed radius to avoid missing
+        // closer points in unvisited cells.
+        let mut radius = self.cell.max(1e-9);
+        // The search must be allowed to grow until it provably covers
+        // every indexed point, even when the query lies far outside the
+        // bounding box of the data.
+        let max_radius = self.farthest_corner_distance(center) + self.cell;
+        let mut candidates: Vec<u32> = Vec::new();
+        loop {
+            self.range_query_into(center, radius, &mut candidates);
+            if candidates.len() >= k || radius > max_radius {
+                break;
+            }
+            radius *= 2.0;
+        }
+        let mut scored: Vec<(f64, u32)> = candidates
+            .iter()
+            .map(|&i| (self.points[i as usize].distance_sq(&center), i))
+            .collect();
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        scored.truncate(k);
+        // The k-th candidate's distance bounds the true answer; re-query
+        // at that radius in case the ring expansion overshot cells.
+        if let Some(&(dk, _)) = scored.last() {
+            let true_r = dk.sqrt();
+            if true_r > radius {
+                self.range_query_into(center, true_r, &mut candidates);
+                scored = candidates
+                    .iter()
+                    .map(|&i| (self.points[i as usize].distance_sq(&center), i))
+                    .collect();
+                scored.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.1.cmp(&b.1))
+                });
+                scored.truncate(k);
+            }
+        }
+        scored.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Distance from `p` to the farthest corner of the grid's bounding
+    /// box — an upper bound on the distance to any indexed point.
+    fn farthest_corner_distance(&self, p: Point) -> f64 {
+        let max_x = self.min_x + self.cols as f64 * self.cell;
+        let max_y = self.min_y + self.rows as f64 * self.cell;
+        let dx = (p.x - self.min_x).abs().max((p.x - max_x).abs());
+        let dy = (p.y - self.min_y).abs().max((p.y - max_y).abs());
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+fn bounds(points: &[Point]) -> (f64, f64, f64, f64) {
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for p in points {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    if points.is_empty() {
+        (0.0, 0.0, 1.0, 1.0)
+    } else {
+        (min_x, min_y, max_x, max_y)
+    }
+}
+
+/// Cell coordinates of `p`, clamped into the grid.
+#[inline]
+fn cell_of(
+    p: &Point,
+    min_x: f64,
+    min_y: f64,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+) -> (usize, usize) {
+    let cx = ((p.x - min_x) / cell).floor();
+    let cy = ((p.y - min_y) / cell).floor();
+    let cx = if cx.is_finite() && cx > 0.0 {
+        (cx as usize).min(cols - 1)
+    } else {
+        0
+    };
+    let cy = if cy.is_finite() && cy > 0.0 {
+        (cy as usize).min(rows - 1)
+    } else {
+        0
+    };
+    (cx, cy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn range_query_finds_exactly_in_range_points() {
+        let idx = GridIndex::new(pts(&[(0.0, 0.0), (0.5, 0.0), (1.0, 0.0), (0.0, 0.4)]), 0.5);
+        let mut got = idx.range_query(Point::new(0.0, 0.0), 0.5);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn range_query_radius_is_inclusive() {
+        let idx = GridIndex::new(pts(&[(0.3, 0.4)]), 0.1);
+        // distance from origin is exactly 0.5
+        assert_eq!(idx.range_query(Point::new(0.0, 0.0), 0.5), vec![0]);
+        assert!(idx.range_query(Point::new(0.0, 0.0), 0.49).is_empty());
+    }
+
+    #[test]
+    fn range_query_empty_index() {
+        let idx = GridIndex::new(Vec::new(), 0.1);
+        assert!(idx.range_query(Point::new(0.5, 0.5), 1.0).is_empty());
+        assert!(idx.k_nearest(Point::new(0.5, 0.5), 3).is_empty());
+    }
+
+    #[test]
+    fn range_query_zero_radius_hits_exact_point() {
+        let idx = GridIndex::new(pts(&[(0.25, 0.25), (0.26, 0.25)]), 0.1);
+        assert_eq!(idx.range_query(Point::new(0.25, 0.25), 0.0), vec![0]);
+    }
+
+    #[test]
+    fn query_outside_bounding_box_is_safe() {
+        let idx = GridIndex::new(pts(&[(0.5, 0.5)]), 0.1);
+        assert!(idx.range_query(Point::new(10.0, 10.0), 0.2).is_empty());
+        assert_eq!(idx.range_query(Point::new(-5.0, -5.0), 20.0), vec![0]);
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let idx = GridIndex::new(pts(&[(0.9, 0.9), (0.1, 0.0), (0.2, 0.0), (0.5, 0.5)]), 0.1);
+        assert_eq!(idx.k_nearest(Point::new(0.0, 0.0), 2), vec![1, 2]);
+        assert_eq!(idx.k_nearest(Point::new(0.0, 0.0), 10), vec![1, 2, 3, 0]);
+        assert!(idx.k_nearest(Point::new(0.0, 0.0), 0).is_empty());
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force_on_random_points() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        let points: Vec<Point> = (0..500)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let idx = GridIndex::new(points.clone(), 0.03);
+        for _ in 0..20 {
+            let q = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+            let got = idx.k_nearest(q, 7);
+            let mut brute: Vec<(f64, u32)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.distance_sq(&q), i as u32))
+                .collect();
+            brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            let expect: Vec<u32> = brute.iter().take(7).map(|&(_, i)| i).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force_on_random_points() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let points: Vec<Point> = (0..800)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let idx = GridIndex::new(points.clone(), 0.05);
+        for _ in 0..30 {
+            let q = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+            let r = rng.gen::<f64>() * 0.2;
+            let mut got = idx.range_query(q, r);
+            got.sort_unstable();
+            let expect: Vec<u32> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance_sq(&q) <= r * r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn identical_points_all_returned() {
+        let idx = GridIndex::new(pts(&[(0.5, 0.5); 5]), 0.1);
+        assert_eq!(idx.range_query(Point::new(0.5, 0.5), 0.01).len(), 5);
+        assert_eq!(idx.k_nearest(Point::new(0.0, 0.0), 3).len(), 3);
+    }
+}

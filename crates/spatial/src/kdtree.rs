@@ -1,0 +1,331 @@
+//! A static 2-d k-d tree — an alternative backend to [`GridIndex`].
+//!
+//! The grid is ideal when query radii are known and points are spread
+//! fairly evenly (the MUAA default); a k-d tree is robust to heavy
+//! clustering and unknown radii at the cost of pointer-chasing. Both
+//! implement the same query surface, and the `micro_spatial` bench
+//! compares them on the MUAA workload so the choice is informed rather
+//! than guessed.
+//!
+//! Construction is the classic median split (by the wider axis of the
+//! node's bounding box), giving a balanced tree in `O(n log n)`.
+
+use muaa_core::Point;
+
+/// A static k-d tree over `(index, point)` entries.
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    /// Points in tree order (in-place median layout).
+    points: Vec<Point>,
+    /// Original caller indices, parallel to `points`.
+    indices: Vec<u32>,
+    /// Per node: split axis (0 = x, 1 = y); leaf nodes irrelevant.
+    axes: Vec<u8>,
+}
+
+impl KdTree {
+    /// Build from a point set; `O(n log n)`.
+    pub fn new(points: Vec<Point>) -> Self {
+        let n = points.len();
+        let mut entries: Vec<(u32, Point)> = points
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, p))
+            .collect();
+        let mut axes = vec![0u8; n];
+        build(&mut entries, &mut axes, 0);
+        let (indices, points): (Vec<u32>, Vec<Point>) = entries.into_iter().unzip();
+        KdTree {
+            points,
+            indices,
+            axes,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Original indices of all points within `radius` (inclusive) of
+    /// `center`, appended to `out` (cleared first).
+    pub fn range_query_into(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if self.points.is_empty() || radius < 0.0 || radius.is_nan() {
+            return;
+        }
+        let r2 = radius * radius;
+        self.range_rec(0, self.points.len(), center, radius, r2, out);
+    }
+
+    /// Convenience wrapper around
+    /// [`range_query_into`](Self::range_query_into).
+    pub fn range_query(&self, center: Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.range_query_into(center, radius, &mut out);
+        out
+    }
+
+    fn range_rec(
+        &self,
+        lo: usize,
+        hi: usize,
+        center: Point,
+        radius: f64,
+        r2: f64,
+        out: &mut Vec<u32>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.points[mid];
+        if p.distance_sq(&center) <= r2 {
+            out.push(self.indices[mid]);
+        }
+        let axis = self.axes[mid];
+        let (c, s) = if axis == 0 {
+            (center.x, p.x)
+        } else {
+            (center.y, p.y)
+        };
+        // Children whose half-space intersects the query disc.
+        if c - radius <= s {
+            self.range_rec(lo, mid, center, radius, r2, out);
+        }
+        if c + radius >= s {
+            self.range_rec(mid + 1, hi, center, radius, r2, out);
+        }
+    }
+
+    /// The `k` nearest points to `center` (ties broken by original
+    /// index), sorted by increasing distance.
+    pub fn k_nearest(&self, center: Point, k: usize) -> Vec<u32> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let k = k.min(self.points.len());
+        // Max-heap of (dist_sq, index) keeping the k best.
+        let mut heap: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        self.nearest_rec(0, self.points.len(), center, k, &mut heap);
+        heap.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        heap.into_iter().map(|(_, i)| i).collect()
+    }
+
+    fn nearest_rec(
+        &self,
+        lo: usize,
+        hi: usize,
+        center: Point,
+        k: usize,
+        heap: &mut Vec<(f64, u32)>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.points[mid];
+        let d2 = p.distance_sq(&center);
+        consider(heap, k, d2, self.indices[mid]);
+
+        let axis = self.axes[mid];
+        let diff = if axis == 0 {
+            center.x - p.x
+        } else {
+            center.y - p.y
+        };
+        let (near_lo, near_hi, far_lo, far_hi) = if diff <= 0.0 {
+            (lo, mid, mid + 1, hi)
+        } else {
+            (mid + 1, hi, lo, mid)
+        };
+        self.nearest_rec(near_lo, near_hi, center, k, heap);
+        // Visit the far side only if the splitting plane is closer than
+        // the current k-th best (or the heap is not yet full).
+        let worst = current_worst(heap, k);
+        if diff * diff <= worst {
+            self.nearest_rec(far_lo, far_hi, center, k, heap);
+        }
+    }
+}
+
+/// Push a candidate into the bounded "heap" (small k → a sorted Vec is
+/// faster and simpler than a BinaryHeap of orderable floats).
+fn consider(heap: &mut Vec<(f64, u32)>, k: usize, d2: f64, idx: u32) {
+    if heap.len() < k {
+        heap.push((d2, idx));
+        if heap.len() == k {
+            heap.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            });
+        }
+        return;
+    }
+    let worst = heap[k - 1];
+    if d2 < worst.0 || (d2 == worst.0 && idx < worst.1) {
+        heap[k - 1] = (d2, idx);
+        // Bubble the new entry into place (k is small).
+        let mut i = k - 1;
+        while i > 0
+            && (heap[i].0 < heap[i - 1].0
+                || (heap[i].0 == heap[i - 1].0 && heap[i].1 < heap[i - 1].1))
+        {
+            heap.swap(i, i - 1);
+            i -= 1;
+        }
+    }
+}
+
+fn current_worst(heap: &[(f64, u32)], k: usize) -> f64 {
+    if heap.len() < k {
+        f64::INFINITY
+    } else {
+        heap[k - 1].0
+    }
+}
+
+/// Recursive in-place median build.
+fn build(entries: &mut [(u32, Point)], axes: &mut [u8], offset: usize) {
+    let n = entries.len();
+    if n <= 1 {
+        return;
+    }
+    // Pick the wider axis of this subset's bounding box.
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for (_, p) in entries.iter() {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let axis: u8 = u8::from(max_y - min_y > max_x - min_x);
+    let mid = n / 2;
+    entries.select_nth_unstable_by(mid, |a, b| {
+        let (ka, kb) = if axis == 0 {
+            (a.1.x, b.1.x)
+        } else {
+            (a.1.y, b.1.y)
+        };
+        ka.partial_cmp(&kb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    // The absolute position of this node in the flattened layout is
+    // offset + mid.
+    axes[offset + mid] = axis;
+    let (left, right) = entries.split_at_mut(mid);
+    build(left, axes, offset);
+    build(&mut right[1..], axes, offset + mid + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::new(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.range_query(Point::new(0.5, 0.5), 1.0).is_empty());
+        assert!(t.k_nearest(Point::new(0.5, 0.5), 3).is_empty());
+    }
+
+    #[test]
+    fn range_query_small() {
+        let t = KdTree::new(pts(&[(0.0, 0.0), (0.5, 0.0), (1.0, 0.0), (0.0, 0.4)]));
+        let mut got = t.range_query(Point::new(0.0, 0.0), 0.5);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 3]);
+        // Inclusive boundary.
+        assert_eq!(t.range_query(Point::new(0.7, 0.0), 0.2), vec![1]);
+    }
+
+    #[test]
+    fn k_nearest_small() {
+        let t = KdTree::new(pts(&[(0.9, 0.9), (0.1, 0.0), (0.2, 0.0), (0.5, 0.5)]));
+        assert_eq!(t.k_nearest(Point::new(0.0, 0.0), 2), vec![1, 2]);
+        assert_eq!(t.k_nearest(Point::new(0.0, 0.0), 10), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn duplicate_points_all_found() {
+        let t = KdTree::new(pts(&[(0.5, 0.5); 6]));
+        assert_eq!(t.range_query(Point::new(0.5, 0.5), 0.0).len(), 6);
+        assert_eq!(t.k_nearest(Point::new(0.1, 0.1), 4).len(), 4);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(17);
+        let points: Vec<Point> = (0..600).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        let t = KdTree::new(points.clone());
+        for _ in 0..40 {
+            let q = Point::new(rng.gen::<f64>() * 1.4 - 0.2, rng.gen::<f64>() * 1.4 - 0.2);
+            let r = rng.gen::<f64>() * 0.3;
+            let mut got = t.range_query(q, r);
+            got.sort_unstable();
+            let expect: Vec<u32> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance_sq(&q) <= r * r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, expect);
+
+            let k = rng.gen_range(1..12);
+            let got = t.k_nearest(q, k);
+            let mut brute: Vec<(f64, u32)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.distance_sq(&q), i as u32))
+                .collect();
+            brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            let expect: Vec<u32> = brute.into_iter().take(k).map(|(_, i)| i).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn clustered_points_are_handled() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(23);
+        // Two dense clusters — the adaptive axis split should cope.
+        let mut points = Vec::new();
+        for _ in 0..200 {
+            points.push(Point::new(
+                0.1 + 0.01 * rng.gen::<f64>(),
+                0.1 + 0.01 * rng.gen::<f64>(),
+            ));
+            points.push(Point::new(
+                0.9 + 0.01 * rng.gen::<f64>(),
+                0.9 + 0.01 * rng.gen::<f64>(),
+            ));
+        }
+        let t = KdTree::new(points.clone());
+        let hits = t.range_query(Point::new(0.105, 0.105), 0.02);
+        assert!(hits.len() > 100, "cluster query found {}", hits.len());
+        let far = t.range_query(Point::new(0.5, 0.5), 0.05);
+        assert!(far.is_empty());
+    }
+}

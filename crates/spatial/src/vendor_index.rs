@@ -1,0 +1,203 @@
+//! Reverse range queries over vendors: "which vendors' circular areas
+//! contain this point?"
+//!
+//! Each vendor has its *own* radius, so a plain grid over vendor
+//! locations would have to be queried with the global maximum radius —
+//! wasteful when radii are skewed. [`VendorIndex`] buckets vendors into
+//! power-of-two radius classes, each with its own [`GridIndex`], and
+//! queries every class with that class's maximum radius; candidates are
+//! then filtered by their exact radius.
+
+use crate::grid::GridIndex;
+use muaa_core::{Point, Vendor, VendorId};
+
+/// An index answering "which vendors cover point `p`" (the valid vendor
+/// set `V'` of paper Algorithm 2, line 2).
+#[derive(Clone, Debug)]
+pub struct VendorIndex {
+    /// One (grid, class max radius, member radii, member vendor ids)
+    /// per radius class.
+    classes: Vec<RadiusClass>,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+struct RadiusClass {
+    grid: GridIndex,
+    max_radius: f64,
+    /// Parallel to the grid's point order.
+    radii: Vec<f64>,
+    ids: Vec<VendorId>,
+}
+
+impl VendorIndex {
+    /// Build from a vendor table. Vendors with zero radius can still be
+    /// matched by customers standing exactly on them.
+    pub fn new(vendors: &[Vendor]) -> Self {
+        // Partition vendor indices into power-of-two radius classes.
+        // Class c holds radii in (2^(c-1)·r0, 2^c·r0] with r0 = 1e-6.
+        const R0: f64 = 1e-6;
+        let mut partitions: Vec<(f64, Vec<usize>)> = Vec::new();
+        let class_of = |r: f64| -> usize {
+            if r <= R0 {
+                0
+            } else {
+                (r / R0).log2().ceil() as usize + 1
+            }
+        };
+        let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (j, v) in vendors.iter().enumerate() {
+            by_class.entry(class_of(v.radius)).or_default().push(j);
+        }
+        for (c, members) in by_class {
+            let max_radius = if c == 0 {
+                R0
+            } else {
+                R0 * 2f64.powi(c as i32 - 1)
+            };
+            partitions.push((max_radius, members));
+        }
+
+        let classes = partitions
+            .into_iter()
+            .map(|(max_radius, members)| {
+                let points: Vec<Point> = members.iter().map(|&j| vendors[j].location).collect();
+                let radii: Vec<f64> = members.iter().map(|&j| vendors[j].radius).collect();
+                let ids: Vec<VendorId> = members.iter().map(|&j| VendorId::from(j)).collect();
+                // Use the class radius as the cell-size hint.
+                let grid = GridIndex::new(points, max_radius);
+                RadiusClass {
+                    grid,
+                    max_radius,
+                    radii,
+                    ids,
+                }
+            })
+            .collect();
+        VendorIndex {
+            classes,
+            len: vendors.len(),
+        }
+    }
+
+    /// Number of indexed vendors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no vendors are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All vendors whose area contains `p` (`d(p, v_j) ≤ r_j`),
+    /// appended to `out` (cleared first), in unspecified order.
+    pub fn covering_into(&self, p: Point, out: &mut Vec<VendorId>) {
+        out.clear();
+        let mut scratch = Vec::new();
+        for class in &self.classes {
+            class
+                .grid
+                .range_query_into(p, class.max_radius, &mut scratch);
+            for &local in &scratch {
+                let li = local as usize;
+                let r = class.radii[li];
+                if class.grid.point(li).distance_sq(&p) <= r * r {
+                    out.push(class.ids[li]);
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper around [`covering_into`](Self::covering_into).
+    pub fn covering(&self, p: Point) -> Vec<VendorId> {
+        let mut out = Vec::new();
+        self.covering_into(p, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muaa_core::{Money, TagVector};
+
+    fn vendor(x: f64, y: f64, r: f64) -> Vendor {
+        Vendor {
+            location: Point::new(x, y),
+            radius: r,
+            budget: Money::from_dollars(1.0),
+            tags: TagVector::zeros(1),
+        }
+    }
+
+    #[test]
+    fn covering_respects_per_vendor_radius() {
+        let vendors = vec![
+            vendor(0.0, 0.0, 0.5), // covers (0.4, 0)
+            vendor(0.0, 0.0, 0.1), // does not
+            vendor(1.0, 1.0, 2.0), // covers everything nearby
+        ];
+        let idx = VendorIndex::new(&vendors);
+        let mut got = idx.covering(Point::new(0.4, 0.0));
+        got.sort_unstable();
+        assert_eq!(got, vec![VendorId::new(0), VendorId::new(2)]);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let vendors = vec![vendor(0.0, 0.0, 0.5)];
+        let idx = VendorIndex::new(&vendors);
+        assert_eq!(idx.covering(Point::new(0.5, 0.0)), vec![VendorId::new(0)]);
+        assert!(idx.covering(Point::new(0.5001, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = VendorIndex::new(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.covering(Point::new(0.5, 0.5)).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_vendors() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        let vendors: Vec<Vendor> = (0..400)
+            .map(|_| {
+                vendor(
+                    rng.gen::<f64>(),
+                    rng.gen::<f64>(),
+                    // Mix of tiny and large radii to exercise classes.
+                    if rng.gen_bool(0.5) {
+                        rng.gen::<f64>() * 0.02
+                    } else {
+                        rng.gen::<f64>() * 0.3
+                    },
+                )
+            })
+            .collect();
+        let idx = VendorIndex::new(&vendors);
+        for _ in 0..50 {
+            let p = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+            let mut got = idx.covering(p);
+            got.sort_unstable();
+            let expect: Vec<VendorId> = vendors
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.location.distance_sq(&p) <= v.radius * v.radius)
+                .map(|(j, _)| VendorId::from(j))
+                .collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn zero_radius_vendor_only_matches_its_location() {
+        let vendors = vec![vendor(0.25, 0.25, 0.0)];
+        let idx = VendorIndex::new(&vendors);
+        assert_eq!(idx.covering(Point::new(0.25, 0.25)), vec![VendorId::new(0)]);
+        assert!(idx.covering(Point::new(0.26, 0.25)).is_empty());
+    }
+}

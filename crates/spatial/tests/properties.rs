@@ -1,0 +1,142 @@
+//! Property-based tests for the spatial substrate: grid range queries
+//! and k-NN vs brute force, vendor coverage vs per-vendor radii.
+
+use muaa_core::{Money, Point, TagVector, Vendor};
+use muaa_spatial::{GridIndex, VendorIndex};
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 0..120)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn range_query_equals_brute_force(
+        points in points_strategy(),
+        (qx, qy) in (-0.5..1.5f64, -0.5..1.5f64),
+        radius in 0.0..0.8f64,
+        cell in 0.001..0.5f64,
+    ) {
+        let index = GridIndex::with_cell_size(points.clone(), cell);
+        let mut got = index.range_query(Point::new(qx, qy), radius);
+        got.sort_unstable();
+        let expect: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_sq(&Point::new(qx, qy)) <= radius * radius)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn k_nearest_equals_brute_force(
+        points in points_strategy(),
+        (qx, qy) in (-0.5..1.5f64, -0.5..1.5f64),
+        k in 0usize..15,
+        cell in 0.001..0.5f64,
+    ) {
+        let q = Point::new(qx, qy);
+        let index = GridIndex::with_cell_size(points.clone(), cell);
+        let got = index.k_nearest(q, k);
+        let mut brute: Vec<(f64, u32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.distance_sq(&q), i as u32))
+            .collect();
+        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let expect: Vec<u32> = brute.into_iter().take(k).map(|(_, i)| i).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn vendor_coverage_equals_brute_force(
+        spec in proptest::collection::vec(
+            ((0.0..1.0f64, 0.0..1.0f64), 0.0..0.4f64), 0..80
+        ),
+        (qx, qy) in (0.0..1.0f64, 0.0..1.0f64),
+    ) {
+        let vendors: Vec<Vendor> = spec
+            .into_iter()
+            .map(|((x, y), r)| Vendor {
+                location: Point::new(x, y),
+                radius: r,
+                budget: Money::from_cents(100),
+                tags: TagVector::zeros(1),
+            })
+            .collect();
+        let index = VendorIndex::new(&vendors);
+        let q = Point::new(qx, qy);
+        let mut got = index.covering(q);
+        got.sort_unstable();
+        let expect: Vec<muaa_core::VendorId> = vendors
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.location.distance_sq(&q) <= v.radius * v.radius)
+            .map(|(j, _)| muaa_core::VendorId::from(j))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn growing_radius_grows_the_result_set(
+        points in points_strategy(),
+        (qx, qy) in (0.0..1.0f64, 0.0..1.0f64),
+        r1 in 0.0..0.4f64,
+        dr in 0.0..0.4f64,
+    ) {
+        let q = Point::new(qx, qy);
+        let index = GridIndex::new(points, 0.05);
+        let small: std::collections::HashSet<u32> =
+            index.range_query(q, r1).into_iter().collect();
+        let large: std::collections::HashSet<u32> =
+            index.range_query(q, r1 + dr).into_iter().collect();
+        prop_assert!(small.is_subset(&large));
+    }
+}
+
+mod kdtree_equivalence {
+    use muaa_core::Point;
+    use muaa_spatial::{GridIndex, KdTree};
+    use proptest::prelude::*;
+
+    fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 0..150)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn kdtree_and_grid_agree_on_range_queries(
+            points in points_strategy(),
+            (qx, qy) in (-0.3..1.3f64, -0.3..1.3f64),
+            radius in 0.0..0.6f64,
+        ) {
+            let grid = GridIndex::new(points.clone(), 0.05);
+            let tree = KdTree::new(points);
+            let q = Point::new(qx, qy);
+            let mut a = grid.range_query(q, radius);
+            let mut b = tree.range_query(q, radius);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn kdtree_and_grid_agree_on_knn(
+            points in points_strategy(),
+            (qx, qy) in (0.0..1.0f64, 0.0..1.0f64),
+            k in 0usize..12,
+        ) {
+            let grid = GridIndex::new(points.clone(), 0.05);
+            let tree = KdTree::new(points);
+            let q = Point::new(qx, qy);
+            prop_assert_eq!(grid.k_nearest(q, k), tree.k_nearest(q, k));
+        }
+    }
+}

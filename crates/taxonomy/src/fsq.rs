@@ -1,0 +1,168 @@
+//! A Foursquare-shaped category taxonomy.
+//!
+//! The paper uses Foursquare's venue-category hierarchy as its tag
+//! universe. Since the real category dump is a network resource, this
+//! module builds a taxonomy with the same *shape*: the nine top-level
+//! Foursquare categories, each with a handful of mid-level categories,
+//! and leaf categories under the densest subtrees. Generators attach
+//! venues to leaves, and the Eq. 1–3 propagation exercises depth-3
+//! paths just as it would on the real tree.
+
+use crate::tree::{Taxonomy, TaxonomyBuilder};
+
+/// Build the Foursquare-shaped taxonomy (3 levels, 9 roots, ~80 tags).
+pub fn foursquare_like() -> Taxonomy {
+    let mut b = TaxonomyBuilder::new();
+
+    let arts = b.root("Arts & Entertainment").expect("fresh builder");
+    for name in [
+        "Movie Theater",
+        "Museum",
+        "Music Venue",
+        "Stadium",
+        "Theme Park",
+    ] {
+        b.child(arts, name).expect("unique");
+    }
+    let museum = b.by_name_in_builder("Museum");
+    if let Some(m) = museum {
+        for name in ["Art Museum", "History Museum", "Science Museum"] {
+            b.child(m, name).expect("unique");
+        }
+    }
+
+    let college = b.root("College & University").expect("unique");
+    for name in ["Academic Building", "Library", "Student Center"] {
+        b.child(college, name).expect("unique");
+    }
+
+    let food = b.root("Food").expect("unique");
+    for name in [
+        "Asian Restaurant",
+        "Café",
+        "Fast Food Restaurant",
+        "Italian Restaurant",
+        "Dessert Shop",
+        "Bakery",
+    ] {
+        b.child(food, name).expect("unique");
+    }
+    if let Some(asian) = b.by_name_in_builder("Asian Restaurant") {
+        for name in [
+            "Ramen Restaurant",
+            "Sushi Restaurant",
+            "Chinese Restaurant",
+            "Thai Restaurant",
+        ] {
+            b.child(asian, name).expect("unique");
+        }
+    }
+    if let Some(cafe) = b.by_name_in_builder("Café") {
+        for name in ["Coffee Shop", "Tea Room"] {
+            b.child(cafe, name).expect("unique");
+        }
+    }
+    if let Some(italian) = b.by_name_in_builder("Italian Restaurant") {
+        b.child(italian, "Pizza Place").expect("unique");
+    }
+
+    let nightlife = b.root("Nightlife Spot").expect("unique");
+    for name in ["Bar", "Nightclub", "Pub", "Karaoke Box"] {
+        b.child(nightlife, name).expect("unique");
+    }
+
+    let outdoors = b.root("Outdoors & Recreation").expect("unique");
+    for name in ["Park", "Gym", "Trail", "Beach", "Playground"] {
+        b.child(outdoors, name).expect("unique");
+    }
+
+    let professional = b.root("Professional & Other Places").expect("unique");
+    for name in ["Office", "Convention Center", "Medical Center"] {
+        b.child(professional, name).expect("unique");
+    }
+
+    let residence = b.root("Residence").expect("unique");
+    for name in ["Apartment Building", "Housing Development"] {
+        b.child(residence, name).expect("unique");
+    }
+
+    let shop = b.root("Shop & Service").expect("unique");
+    for name in [
+        "Clothing Store",
+        "Electronics Store",
+        "Convenience Store",
+        "Bookstore",
+        "Supermarket",
+        "Salon / Barbershop",
+    ] {
+        b.child(shop, name).expect("unique");
+    }
+    if let Some(clothing) = b.by_name_in_builder("Clothing Store") {
+        for name in ["Shoe Store", "Boutique"] {
+            b.child(clothing, name).expect("unique");
+        }
+    }
+
+    let travel = b.root("Travel & Transport").expect("unique");
+    for name in [
+        "Train Station",
+        "Bus Stop",
+        "Airport",
+        "Hotel",
+        "Metro Station",
+    ] {
+        b.child(travel, name).expect("unique");
+    }
+
+    b.build()
+}
+
+impl TaxonomyBuilder {
+    /// Look up an already-inserted tag by name, for use while still
+    /// building. (Exposed only in this crate's construction helpers.)
+    fn by_name_in_builder(&self, name: &str) -> Option<crate::tree::TagId> {
+        self.peek().by_name(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_has_nine_roots() {
+        let t = foursquare_like();
+        assert_eq!(t.roots().len(), 9);
+        assert!(t.len() >= 50, "expected a rich taxonomy, got {}", t.len());
+    }
+
+    #[test]
+    fn depth_three_paths_exist() {
+        let t = foursquare_like();
+        let ramen = t.by_name("Ramen Restaurant").unwrap();
+        assert_eq!(t.depth(ramen), 2);
+        let path = t.path_from_root(ramen);
+        assert_eq!(path.len(), 3);
+        assert_eq!(t.name(path[0]), "Food");
+        assert_eq!(t.name(path[1]), "Asian Restaurant");
+    }
+
+    #[test]
+    fn leaves_cover_most_of_the_tree() {
+        let t = foursquare_like();
+        let leaves = t.leaves();
+        assert!(leaves.len() > t.len() / 2);
+        // Roots are never leaves here.
+        for &r in t.roots() {
+            assert!(!leaves.contains(&r));
+        }
+    }
+
+    #[test]
+    fn all_names_resolve() {
+        let t = foursquare_like();
+        for tag in t.tags() {
+            assert!(t.by_name(t.name(tag)).is_some());
+        }
+    }
+}

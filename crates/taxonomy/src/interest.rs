@@ -1,0 +1,260 @@
+//! Taxonomy-driven interest vectors (paper Equations 1–3).
+//!
+//! Given a customer's check-in counts per tag, the model:
+//!
+//! * spreads an overall score `s` over the checked-in tags in
+//!   proportion to their counts — `sc(g_k) = s · h(g_k)/Σ h` (Eq. 1);
+//! * splits each topic score over the root-to-tag path so that the path
+//!   scores sum to `sc(g_k)` (Eq. 2), with the geometric up-propagation
+//!   `sco(e_{m-1}) = κ · sco(e_m) / (sib(e_m) + 1)` (Eq. 3);
+//! * accumulates the per-tag scores over all checked-in tags and
+//!   rescales the result into `[0, 1]` (max-normalisation) so it can be
+//!   used directly as a [`TagVector`].
+
+use crate::tree::{TagId, Taxonomy, TaxonomyError};
+use muaa_core::TagVector;
+
+/// Default overall score `s` of Eq. 1. Its absolute value is arbitrary
+/// (the paper calls it "an arbitrary fixed overall score"); the final
+/// vector is max-normalised anyway.
+pub const DEFAULT_OVERALL_SCORE: f64 = 100.0;
+
+/// Default propagation factor `κ` of Eq. 3 ("for fine-tuning the
+/// profile generation process"). `0.75` gives ancestors a noticeable
+/// but decaying share.
+pub const DEFAULT_PROPAGATION: f64 = 0.75;
+
+/// The Eq. 1–3 interest-vector computation over a fixed taxonomy.
+#[derive(Clone, Debug)]
+pub struct InterestModel<'t> {
+    taxonomy: &'t Taxonomy,
+    overall_score: f64,
+    kappa: f64,
+}
+
+impl<'t> InterestModel<'t> {
+    /// Model with default `s` and `κ`.
+    pub fn new(taxonomy: &'t Taxonomy) -> Self {
+        InterestModel {
+            taxonomy,
+            overall_score: DEFAULT_OVERALL_SCORE,
+            kappa: DEFAULT_PROPAGATION,
+        }
+    }
+
+    /// Override the overall score `s` (must be positive).
+    pub fn with_overall_score(mut self, s: f64) -> Self {
+        assert!(s > 0.0 && s.is_finite(), "overall score must be positive");
+        self.overall_score = s;
+        self
+    }
+
+    /// Override the propagation factor `κ` (must be in `(0, 1]`).
+    pub fn with_propagation(mut self, kappa: f64) -> Self {
+        assert!(kappa > 0.0 && kappa <= 1.0, "κ must be in (0,1]");
+        self.kappa = kappa;
+        self
+    }
+
+    /// Raw (un-normalised) interest scores for a check-in histogram:
+    /// `checkins` maps tags to counts `h(g_k)`. Tags with zero count are
+    /// allowed and ignored.
+    pub fn raw_scores(&self, checkins: &[(TagId, u32)]) -> Result<Vec<f64>, TaxonomyError> {
+        let mut scores = vec![0.0; self.taxonomy.len()];
+        let total: u64 = checkins.iter().map(|&(_, h)| u64::from(h)).sum();
+        if total == 0 {
+            return Ok(scores);
+        }
+        for &(tag, h) in checkins {
+            if tag.index() >= self.taxonomy.len() {
+                return Err(TaxonomyError::UnknownTag(tag));
+            }
+            if h == 0 {
+                continue;
+            }
+            // Eq. 1: topic score of the checked-in tag.
+            let sc = self.overall_score * (f64::from(h) / total as f64);
+            self.spread_over_path(tag, sc, &mut scores);
+        }
+        Ok(scores)
+    }
+
+    /// Distribute a topic score `sc` over the root-to-`tag` path
+    /// according to Eqs. 2–3 and add the shares into `scores`.
+    fn spread_over_path(&self, tag: TagId, sc: f64, scores: &mut [f64]) {
+        let path = self.taxonomy.path_from_root(tag);
+        // Walking up from e_q: each step multiplies by
+        // f_m = κ / (sib(e_m) + 1), where e_m is the node we walk up
+        // *from*. Eq. 2 fixes the leaf share so the path sums to sc:
+        //   sco(e_q) · (1 + f_q + f_q·f_{q-1} + …) = sc.
+        let mut factor_sum = 1.0;
+        let mut running = 1.0;
+        for &node in path.iter().skip(1).rev() {
+            running *= self.kappa / (self.taxonomy.siblings(node) as f64 + 1.0);
+            factor_sum += running;
+        }
+        let leaf_share = sc / factor_sum;
+        // Second pass: assign shares down-up.
+        let mut share = leaf_share;
+        scores[path[path.len() - 1].index()] += share;
+        for idx in (0..path.len() - 1).rev() {
+            let child = path[idx + 1];
+            share *= self.kappa / (self.taxonomy.siblings(child) as f64 + 1.0);
+            scores[path[idx].index()] += share;
+        }
+    }
+
+    /// The customer interest vector `ψ_i`: raw scores max-normalised
+    /// into `[0, 1]`.
+    pub fn interest_vector(&self, checkins: &[(TagId, u32)]) -> Result<TagVector, TaxonomyError> {
+        let raw = self.raw_scores(checkins)?;
+        Ok(normalize_to_unit_max(raw))
+    }
+
+    /// The vendor tag vector `ψ_j` for a vendor classified into
+    /// `category`: score 1 on the category itself with Eq. 3-style decay
+    /// towards its ancestors (so a ramen shop is also somewhat a "Food"
+    /// venue). This refines the paper's pure one-hot fallback while
+    /// staying consistent with its propagation model.
+    pub fn vendor_vector(&self, category: TagId) -> Result<TagVector, TaxonomyError> {
+        if category.index() >= self.taxonomy.len() {
+            return Err(TaxonomyError::UnknownTag(category));
+        }
+        let mut scores = vec![0.0; self.taxonomy.len()];
+        self.spread_over_path(category, self.overall_score, &mut scores);
+        Ok(normalize_to_unit_max(scores))
+    }
+
+    /// The paper's plain fallback: `ψ_j^{(k)} = 1` iff the vendor is
+    /// classified into category `g_k`.
+    pub fn vendor_one_hot(&self, category: TagId) -> Result<TagVector, TaxonomyError> {
+        TagVector::one_hot(self.taxonomy.len(), category.index())
+            .map_err(|_| TaxonomyError::UnknownTag(category))
+    }
+}
+
+/// Rescale non-negative raw scores so the maximum becomes 1, then wrap
+/// as a validated-in-debug [`TagVector`]. The zero vector passes
+/// through unchanged.
+fn normalize_to_unit_max(mut raw: Vec<f64>) -> TagVector {
+    let max = raw.iter().copied().fold(0.0_f64, f64::max);
+    if max > 0.0 {
+        for s in &mut raw {
+            // Clamp guards against `x/max` landing a hair above 1.
+            *s = (*s / max).clamp(0.0, 1.0);
+        }
+    }
+    TagVector::new_unchecked(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TaxonomyBuilder;
+
+    /// Food ── Asian ── Ramen
+    ///     └── Pizza
+    /// Shop ── Shoes
+    fn sample() -> (Taxonomy, TagId, TagId, TagId, TagId, TagId) {
+        let mut b = TaxonomyBuilder::new();
+        let food = b.root("Food").unwrap();
+        let shop = b.root("Shop").unwrap();
+        let asian = b.child(food, "Asian").unwrap();
+        let _pizza = b.child(food, "Pizza").unwrap();
+        let ramen = b.child(asian, "Ramen").unwrap();
+        let shoes = b.child(shop, "Shoes").unwrap();
+        (b.build(), food, shop, asian, ramen, shoes)
+    }
+
+    #[test]
+    fn empty_history_gives_zero_vector() {
+        let (t, ..) = sample();
+        let m = InterestModel::new(&t);
+        let v = m.interest_vector(&[]).unwrap();
+        assert_eq!(v.total(), 0.0);
+    }
+
+    #[test]
+    fn path_scores_sum_to_topic_score_eq2() {
+        let (t, food, _shop, asian, ramen, _shoes) = sample();
+        let m = InterestModel::new(&t).with_overall_score(10.0);
+        // One tag checked in: sc(ramen) = 10.
+        let raw = m.raw_scores(&[(ramen, 5)]).unwrap();
+        let path_sum = raw[food.index()] + raw[asian.index()] + raw[ramen.index()];
+        assert!((path_sum - 10.0).abs() < 1e-9, "path sum {path_sum}");
+        // Scores decay towards the root.
+        assert!(raw[ramen.index()] > raw[asian.index()]);
+        assert!(raw[asian.index()] > raw[food.index()]);
+    }
+
+    #[test]
+    fn eq3_ratio_holds_between_adjacent_levels() {
+        let (t, food, _shop, asian, ramen, _shoes) = sample();
+        let kappa = 0.6;
+        let m = InterestModel::new(&t).with_propagation(kappa);
+        let raw = m.raw_scores(&[(ramen, 1)]).unwrap();
+        // sco(asian) = κ · sco(ramen) / (sib(ramen)+1); ramen has 0 siblings.
+        let expect_asian = kappa * raw[ramen.index()] / 1.0;
+        assert!((raw[asian.index()] - expect_asian).abs() < 1e-9);
+        // sco(food) = κ · sco(asian) / (sib(asian)+1); asian has 1 sibling (pizza).
+        let expect_food = kappa * raw[asian.index()] / 2.0;
+        assert!((raw[food.index()] - expect_food).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq1_distributes_proportionally_to_counts() {
+        let (t, _food, _shop, _asian, ramen, shoes) = sample();
+        let m = InterestModel::new(&t).with_overall_score(100.0);
+        let raw = m.raw_scores(&[(ramen, 3), (shoes, 1)]).unwrap();
+        // The two root-to-leaf path sums must be 75 and 25.
+        let ramen_path: f64 = t.path_from_root(ramen).iter().map(|g| raw[g.index()]).sum();
+        let shoes_path: f64 = t.path_from_root(shoes).iter().map(|g| raw[g.index()]).sum();
+        assert!((ramen_path - 75.0).abs() < 1e-9);
+        assert!((shoes_path - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interest_vector_is_normalised() {
+        let (t, _food, _shop, _asian, ramen, shoes) = sample();
+        let m = InterestModel::new(&t);
+        let v = m.interest_vector(&[(ramen, 3), (shoes, 1)]).unwrap();
+        let max = v.as_slice().iter().copied().fold(0.0_f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(v.as_slice().iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // The most checked-in leaf carries the max.
+        assert_eq!(v[ramen.index()], 1.0);
+    }
+
+    #[test]
+    fn vendor_vector_peaks_at_category() {
+        let (t, food, _shop, asian, ramen, shoes) = sample();
+        let m = InterestModel::new(&t);
+        let v = m.vendor_vector(ramen).unwrap();
+        assert_eq!(v[ramen.index()], 1.0);
+        assert!(v[asian.index()] > 0.0 && v[asian.index()] < 1.0);
+        assert!(v[food.index()] > 0.0 && v[food.index()] < v[asian.index()]);
+        assert_eq!(v[shoes.index()], 0.0);
+
+        let oh = m.vendor_one_hot(ramen).unwrap();
+        assert_eq!(oh[ramen.index()], 1.0);
+        assert_eq!(oh[asian.index()], 0.0);
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let (t, ..) = sample();
+        let m = InterestModel::new(&t);
+        assert!(m.raw_scores(&[(TagId(99), 1)]).is_err());
+        assert!(m.vendor_vector(TagId(99)).is_err());
+        assert!(m.vendor_one_hot(TagId(99)).is_err());
+    }
+
+    #[test]
+    fn zero_count_checkins_ignored() {
+        let (t, _food, _shop, _asian, ramen, shoes) = sample();
+        let m = InterestModel::new(&t);
+        let a = m.raw_scores(&[(ramen, 2), (shoes, 0)]).unwrap();
+        let b = m.raw_scores(&[(ramen, 2)]).unwrap();
+        assert_eq!(a, b);
+    }
+}

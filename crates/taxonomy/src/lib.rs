@@ -1,0 +1,33 @@
+//! # muaa-taxonomy
+//!
+//! Tag taxonomy and taxonomy-driven interest-vector computation for the
+//! MUAA problem (paper §II-A, Equations 1–3).
+//!
+//! The paper assumes a Foursquare-style hierarchy (taxonomy) of POI
+//! categories and derives each customer's tag-interest vector `ψ_i` from
+//! their check-in history by:
+//!
+//! 1. distributing a fixed overall score `s` over the checked-in tags in
+//!    proportion to check-in counts (Eq. 1),
+//! 2. requiring the interest scores along the root-to-tag path to sum to
+//!    that topic score (Eq. 2), and
+//! 3. propagating scores towards ancestors with a decay of
+//!    `κ / (sib(e_m) + 1)` per level (Eq. 3).
+//!
+//! [`Taxonomy`] is the category tree (every node is a tag; tag indices
+//! are dense and double as indices into
+//! [`TagVector`](muaa_core::TagVector)s); [`InterestModel`] performs the
+//! Eq. 1–3 computation; [`foursquare_like`] builds a taxonomy shaped
+//! like Foursquare's public category tree for use by generators and
+//! examples.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod fsq;
+mod interest;
+mod tree;
+
+pub use fsq::foursquare_like;
+pub use interest::{InterestModel, DEFAULT_OVERALL_SCORE, DEFAULT_PROPAGATION};
+pub use tree::{TagId, Taxonomy, TaxonomyBuilder, TaxonomyError};

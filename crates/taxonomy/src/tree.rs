@@ -1,0 +1,360 @@
+//! The category tree (tag taxonomy).
+//!
+//! Every node of the tree is a tag in the universe `Ψ`; tag ids are
+//! dense indices assigned in insertion order, so a `TagVector` over the
+//! taxonomy simply has one slot per node.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of a tag (a node of the taxonomy).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// The raw index as `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Errors raised while building or querying a taxonomy.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TaxonomyError {
+    /// A parent id did not exist.
+    UnknownParent(TagId),
+    /// A tag id did not exist.
+    UnknownTag(TagId),
+    /// Duplicate tag name within the same parent.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TaxonomyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaxonomyError::UnknownParent(id) => write!(f, "unknown parent tag {id}"),
+            TaxonomyError::UnknownTag(id) => write!(f, "unknown tag {id}"),
+            TaxonomyError::DuplicateName { name } => write!(f, "duplicate tag name {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TaxonomyError {}
+
+#[derive(Clone, Debug)]
+struct Node {
+    name: String,
+    parent: Option<TagId>,
+    children: Vec<TagId>,
+    depth: u32,
+}
+
+/// A rooted forest of category tags (Foursquare-style taxonomy).
+#[derive(Clone, Debug, Default)]
+pub struct Taxonomy {
+    nodes: Vec<Node>,
+    roots: Vec<TagId>,
+    by_name: HashMap<String, TagId>,
+}
+
+impl Taxonomy {
+    /// Number of tags (`|Ψ|`): the tag-vector length for entities built
+    /// over this taxonomy.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the taxonomy has no tags.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root tags (top-level categories).
+    pub fn roots(&self) -> &[TagId] {
+        &self.roots
+    }
+
+    /// Name of a tag.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Parent of a tag (`None` for roots).
+    pub fn parent(&self, id: TagId) -> Option<TagId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Children of a tag.
+    pub fn children(&self, id: TagId) -> &[TagId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Depth of a tag (0 for roots).
+    pub fn depth(&self, id: TagId) -> u32 {
+        self.nodes[id.index()].depth
+    }
+
+    /// Number of siblings `sib(e)` of a tag: nodes sharing its parent,
+    /// excluding itself. Roots are each other's siblings.
+    pub fn siblings(&self, id: TagId) -> usize {
+        match self.nodes[id.index()].parent {
+            Some(p) => self.nodes[p.index()].children.len() - 1,
+            None => self.roots.len() - 1,
+        }
+    }
+
+    /// `true` iff the tag is a leaf.
+    pub fn is_leaf(&self, id: TagId) -> bool {
+        self.nodes[id.index()].children.is_empty()
+    }
+
+    /// All leaf tags — the categories venues are labelled with.
+    pub fn leaves(&self) -> Vec<TagId> {
+        (0..self.nodes.len() as u32)
+            .map(TagId)
+            .filter(|&id| self.is_leaf(id))
+            .collect()
+    }
+
+    /// Path `E_k = (e_0, …, e_q)` from the root down to `id` inclusive.
+    pub fn path_from_root(&self, id: TagId) -> Vec<TagId> {
+        let mut path = Vec::with_capacity(self.depth(id) as usize + 1);
+        let mut cur = Some(id);
+        while let Some(t) = cur {
+            path.push(t);
+            cur = self.parent(t);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Look up a tag by name (names are unique per parent; the first
+    /// match in insertion order wins for duplicated names across
+    /// parents).
+    pub fn by_name(&self, name: &str) -> Option<TagId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterate over all tag ids in insertion order.
+    pub fn tags(&self) -> impl Iterator<Item = TagId> {
+        (0..self.nodes.len() as u32).map(TagId)
+    }
+
+    /// Render the taxonomy as Graphviz DOT, for visual inspection
+    /// (`dot -Tsvg taxonomy.dot -o taxonomy.svg`).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph taxonomy {\n  rankdir=LR;\n  node [shape=box];\n");
+        for tag in self.tags() {
+            let _ = writeln!(
+                out,
+                "  g{} [label=\"{}\"];",
+                tag.0,
+                self.name(tag).replace('"', "'")
+            );
+        }
+        for tag in self.tags() {
+            if let Some(parent) = self.parent(tag) {
+                let _ = writeln!(out, "  g{} -> g{};", parent.0, tag.0);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Builder for [`Taxonomy`].
+///
+/// ```
+/// use muaa_taxonomy::TaxonomyBuilder;
+/// let mut b = TaxonomyBuilder::new();
+/// let food = b.root("Food").unwrap();
+/// let asian = b.child(food, "Asian Restaurant").unwrap();
+/// let ramen = b.child(asian, "Ramen Restaurant").unwrap();
+/// let t = b.build();
+/// assert_eq!(t.path_from_root(ramen), vec![food, asian, ramen]);
+/// assert_eq!(t.depth(ramen), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TaxonomyBuilder {
+    taxonomy: Taxonomy,
+}
+
+impl TaxonomyBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a top-level category.
+    pub fn root(&mut self, name: impl Into<String>) -> Result<TagId, TaxonomyError> {
+        self.insert(name.into(), None)
+    }
+
+    /// Add a sub-category of `parent`.
+    pub fn child(
+        &mut self,
+        parent: TagId,
+        name: impl Into<String>,
+    ) -> Result<TagId, TaxonomyError> {
+        if parent.index() >= self.taxonomy.nodes.len() {
+            return Err(TaxonomyError::UnknownParent(parent));
+        }
+        self.insert(name.into(), Some(parent))
+    }
+
+    fn insert(&mut self, name: String, parent: Option<TagId>) -> Result<TagId, TaxonomyError> {
+        // Reject duplicate names among the same parent's children.
+        let sibling_ids: &[TagId] = match parent {
+            Some(p) => &self.taxonomy.nodes[p.index()].children,
+            None => &self.taxonomy.roots,
+        };
+        if sibling_ids
+            .iter()
+            .any(|&s| self.taxonomy.nodes[s.index()].name == name)
+        {
+            return Err(TaxonomyError::DuplicateName { name });
+        }
+        let id = TagId(self.taxonomy.nodes.len() as u32);
+        let depth = parent.map_or(0, |p| self.taxonomy.nodes[p.index()].depth + 1);
+        self.taxonomy.nodes.push(Node {
+            name: name.clone(),
+            parent,
+            children: Vec::new(),
+            depth,
+        });
+        match parent {
+            Some(p) => self.taxonomy.nodes[p.index()].children.push(id),
+            None => self.taxonomy.roots.push(id),
+        }
+        self.taxonomy.by_name.entry(name).or_insert(id);
+        Ok(id)
+    }
+
+    /// Inspect the taxonomy built so far (e.g. to look up a tag by
+    /// name while still adding children).
+    pub fn peek(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Taxonomy {
+        self.taxonomy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Taxonomy, TagId, TagId, TagId, TagId) {
+        let mut b = TaxonomyBuilder::new();
+        let food = b.root("Food").unwrap();
+        let shop = b.root("Shop").unwrap();
+        let asian = b.child(food, "Asian").unwrap();
+        let pizza = b.child(food, "Pizza").unwrap();
+        let _shoes = b.child(shop, "Shoes").unwrap();
+        (b.build(), food, asian, pizza, shop)
+    }
+
+    #[test]
+    fn structure_queries() {
+        let (t, food, asian, pizza, shop) = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.roots(), &[food, shop]);
+        assert_eq!(t.parent(asian), Some(food));
+        assert_eq!(t.parent(food), None);
+        assert_eq!(t.children(food), &[asian, pizza]);
+        assert_eq!(t.depth(asian), 1);
+        assert_eq!(t.depth(food), 0);
+        assert_eq!(t.name(pizza), "Pizza");
+        assert_eq!(t.by_name("Asian"), Some(asian));
+        assert_eq!(t.by_name("nope"), None);
+    }
+
+    #[test]
+    fn sibling_counts() {
+        let (t, food, asian, _pizza, shop) = sample();
+        // Asian and Pizza are mutual siblings.
+        assert_eq!(t.siblings(asian), 1);
+        // Roots: Food and Shop.
+        assert_eq!(t.siblings(food), 1);
+        assert_eq!(t.siblings(shop), 1);
+    }
+
+    #[test]
+    fn leaves_and_paths() {
+        let (t, food, asian, pizza, _shop) = sample();
+        let leaves = t.leaves();
+        assert!(leaves.contains(&asian) && leaves.contains(&pizza));
+        assert!(!leaves.contains(&food));
+        assert_eq!(t.path_from_root(asian), vec![food, asian]);
+        assert_eq!(t.path_from_root(food), vec![food]);
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_unknown_parent() {
+        let mut b = TaxonomyBuilder::new();
+        let food = b.root("Food").unwrap();
+        assert!(matches!(
+            b.root("Food"),
+            Err(TaxonomyError::DuplicateName { .. })
+        ));
+        assert!(b.child(food, "Asian").is_ok());
+        assert!(matches!(
+            b.child(food, "Asian"),
+            Err(TaxonomyError::DuplicateName { .. })
+        ));
+        assert!(matches!(
+            b.child(TagId(99), "X"),
+            Err(TaxonomyError::UnknownParent(_))
+        ));
+        // Same name under a different parent is fine.
+        let shop = b.root("Shop").unwrap();
+        assert!(b.child(shop, "Asian").is_ok());
+    }
+
+    #[test]
+    fn dot_export_lists_every_node_and_edge() {
+        let (t, food, asian, pizza, shop) = sample();
+        let dot = t.to_dot();
+        assert!(dot.starts_with("digraph taxonomy {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for tag in [food, asian, pizza, shop] {
+            assert!(dot.contains(&format!("g{} [label=", tag.0)));
+        }
+        // Parent → child edges; 5 nodes with 2 roots → 3 edges.
+        assert_eq!(dot.matches(" -> ").count(), 3);
+        assert!(dot.contains(&format!("g{} -> g{};", food.0, asian.0)));
+    }
+
+    #[test]
+    fn dot_export_escapes_quotes() {
+        let mut b = TaxonomyBuilder::new();
+        b.root("say \"cheese\"").unwrap();
+        let dot = b.build().to_dot();
+        assert!(dot.contains("say 'cheese'"));
+        assert!(!dot.contains("\"say \"cheese\"\""));
+    }
+
+    #[test]
+    fn singleton_root_has_no_siblings() {
+        let mut b = TaxonomyBuilder::new();
+        let only = b.root("Only").unwrap();
+        let t = b.build();
+        assert_eq!(t.siblings(only), 0);
+        assert!(t.is_leaf(only));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the taxonomy substrate: Eq. 1–3 structure
+//! invariants under random taxonomies and check-in histories.
+
+use muaa_taxonomy::{InterestModel, TagId, Taxonomy, TaxonomyBuilder};
+use proptest::prelude::*;
+
+/// Build a random taxonomy from a parent-pointer spec: entry `i` picks
+/// its parent among the already-inserted nodes (or becomes a root).
+fn taxonomy_strategy() -> impl Strategy<Value = Taxonomy> {
+    proptest::collection::vec(proptest::option::of(0usize..12), 1..14).prop_map(|parents| {
+        let mut b = TaxonomyBuilder::new();
+        let mut ids: Vec<TagId> = Vec::new();
+        for (i, parent) in parents.iter().enumerate() {
+            let name = format!("tag-{i}");
+            let id = match parent {
+                Some(p) if !ids.is_empty() => {
+                    let parent_id = ids[p % ids.len()];
+                    b.child(parent_id, name).expect("unique names")
+                }
+                _ => b.root(name).expect("unique names"),
+            };
+            ids.push(id);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn paths_lead_to_roots_and_depths_agree(taxonomy in taxonomy_strategy()) {
+        for tag in taxonomy.tags() {
+            let path = taxonomy.path_from_root(tag);
+            prop_assert_eq!(path.len() as u32, taxonomy.depth(tag) + 1);
+            prop_assert!(taxonomy.roots().contains(&path[0]));
+            prop_assert_eq!(*path.last().unwrap(), tag);
+            // Consecutive entries are parent-child.
+            for w in path.windows(2) {
+                prop_assert_eq!(taxonomy.parent(w[1]), Some(w[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_counts_are_consistent(taxonomy in taxonomy_strategy()) {
+        for tag in taxonomy.tags() {
+            let sib = taxonomy.siblings(tag);
+            let group = match taxonomy.parent(tag) {
+                Some(p) => taxonomy.children(p).len(),
+                None => taxonomy.roots().len(),
+            };
+            prop_assert_eq!(sib + 1, group);
+        }
+    }
+
+    #[test]
+    fn eq2_path_sum_equals_topic_score(
+        taxonomy in taxonomy_strategy(),
+        tag_pick in 0usize..14,
+        count in 1u32..20,
+        kappa in 0.05..1.0f64,
+        score in 1.0..500.0f64,
+    ) {
+        let tags: Vec<TagId> = taxonomy.tags().collect();
+        let tag = tags[tag_pick % tags.len()];
+        let model = InterestModel::new(&taxonomy)
+            .with_propagation(kappa)
+            .with_overall_score(score);
+        let raw = model.raw_scores(&[(tag, count)]).unwrap();
+        // Single checked-in tag → sc = full overall score; the
+        // root-to-tag path must absorb exactly that (Eq. 2).
+        let path_sum: f64 = taxonomy.path_from_root(tag).iter().map(|g| raw[g.index()]).sum();
+        prop_assert!((path_sum - score).abs() < 1e-6 * score, "sum {path_sum} vs {score}");
+        // Nothing off the path receives anything.
+        let path: std::collections::HashSet<u32> =
+            taxonomy.path_from_root(tag).iter().map(|t| t.0).collect();
+        for t in taxonomy.tags() {
+            if !path.contains(&t.0) {
+                prop_assert_eq!(raw[t.index()], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn eq3_ratio_holds_along_every_path(
+        taxonomy in taxonomy_strategy(),
+        tag_pick in 0usize..14,
+        kappa in 0.05..1.0f64,
+    ) {
+        let tags: Vec<TagId> = taxonomy.tags().collect();
+        let tag = tags[tag_pick % tags.len()];
+        let model = InterestModel::new(&taxonomy).with_propagation(kappa);
+        let raw = model.raw_scores(&[(tag, 1)]).unwrap();
+        let path = taxonomy.path_from_root(tag);
+        for w in path.windows(2) {
+            let (parent, child) = (w[0], w[1]);
+            let expect = kappa * raw[child.index()] / (taxonomy.siblings(child) as f64 + 1.0);
+            prop_assert!(
+                (raw[parent.index()] - expect).abs() < 1e-9,
+                "parent {} expect {}",
+                raw[parent.index()],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn interest_vector_is_valid_and_total_scales_with_history(
+        taxonomy in taxonomy_strategy(),
+        history in proptest::collection::vec((0usize..14, 1u32..10), 1..6),
+    ) {
+        let tags: Vec<TagId> = taxonomy.tags().collect();
+        let checkins: Vec<(TagId, u32)> =
+            history.into_iter().map(|(t, c)| (tags[t % tags.len()], c)).collect();
+        let model = InterestModel::new(&taxonomy);
+        let v = model.interest_vector(&checkins).unwrap();
+        prop_assert_eq!(v.len(), taxonomy.len());
+        let max = v.as_slice().iter().copied().fold(0.0_f64, f64::max);
+        prop_assert!((max - 1.0).abs() < 1e-9, "max {max}");
+        for &s in v.as_slice() {
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! A broker service in miniature: persist a generated workload with
+//! the instance I/O format, reload it (as a deployed broker would at
+//! startup), open a [`BrokerSession`], and serve arrivals while
+//! watching budgets and latency — the end-to-end shape of the paper's
+//! deployment story.
+//!
+//! Run with: `cargo run --release --example broker_service`
+
+use muaa::core::io;
+use muaa::prelude::*;
+
+fn main() {
+    // --- 1. Generate this morning's vendor snapshot and archive it. ---
+    let config = SyntheticConfig {
+        customers: 2_000,
+        vendors: 80,
+        radius: Range::new(0.04, 0.08),
+        ..Default::default()
+    };
+    let instance = generate_synthetic(&config);
+    let path = std::env::temp_dir().join("muaa_broker_snapshot.tsv");
+    std::fs::write(&path, io::to_string(&instance)).expect("archive snapshot");
+    println!(
+        "archived snapshot to {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).unwrap().len()
+    );
+
+    // --- 2. Reload (a fresh process would start here). ----------------
+    let data = std::fs::read_to_string(&path).expect("read snapshot");
+    let instance = io::from_str(&data).expect("parse snapshot");
+    println!(
+        "reloaded: {} customers queued, {} vendors, {} ad types",
+        instance.num_customers(),
+        instance.num_vendors(),
+        instance.num_ad_types()
+    );
+
+    // --- 3. Serve the arrival stream. ----------------------------------
+    let model = PearsonUtility::uniform(instance.tag_universe());
+    let mut session = BrokerSession::start(&instance, &model);
+    let mut pushed = 0usize;
+    for i in 0..instance.num_customers() {
+        pushed += session.serve(CustomerId::from(i)).len();
+        if (i + 1) % 500 == 0 {
+            let stats = session.latency();
+            println!(
+                "after {:>5} arrivals: {:>5} ads pushed, utility {:>9.4}, mean latency {:?}",
+                i + 1,
+                pushed,
+                session.total_utility(),
+                stats.mean()
+            );
+        }
+    }
+
+    // --- 4. Final accounting. ------------------------------------------
+    let stats = session.latency();
+    println!("\nserved {} arrivals", stats.served);
+    println!("worst per-arrival latency: {:?}", stats.max);
+    println!("total utility delivered:   {:.4}", session.total_utility());
+    let exhausted = instance
+        .vendors_enumerated()
+        .filter(|&(vid, _)| session.remaining_budget(vid) < instance.min_ad_cost())
+        .count();
+    println!(
+        "{exhausted} of {} vendors exhausted their budget",
+        instance.num_vendors()
+    );
+    let _ = std::fs::remove_file(&path);
+}

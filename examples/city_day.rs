@@ -1,0 +1,87 @@
+//! A day in a simulated city: run the Foursquare-like check-in
+//! simulator (the paper's "real data" analogue), inspect its temporal
+//! structure, and watch how the time of day changes which vendors win
+//! ads — cafés in the morning, bars at night — through the
+//! activity-weighted Pearson utility of Eq. 5.
+//!
+//! Run with: `cargo run --release --example city_day`
+
+use muaa::prelude::*;
+
+fn main() {
+    let config = FoursquareConfig {
+        checkins: 8_000,
+        venues: 400,
+        users: 300,
+        ..Default::default()
+    };
+    let sim = FoursquareSim::generate(&config);
+    let instance = &sim.instance;
+    let stats = instance.stats();
+    println!("simulated city:");
+    println!("  check-ins (customers) : {}", stats.customers);
+    println!("  venues (vendors)      : {}", stats.vendors);
+    println!(
+        "  tag universe          : {} categories",
+        stats.tag_universe
+    );
+    println!("  total ad budget       : {}", stats.total_budget);
+
+    // How check-ins distribute over the day.
+    let mut per_hour = [0usize; 24];
+    for c in instance.customers() {
+        per_hour[c.arrival.hour_slot()] += 1;
+    }
+    println!("\ncheck-ins per hour (each '#' ≈ 1% of the day):");
+    let total = stats.customers as f64;
+    for (h, &n) in per_hour.iter().enumerate() {
+        let bars = (100.0 * n as f64 / total).round() as usize;
+        println!("  {h:>2}h {}", "#".repeat(bars));
+    }
+
+    // Assign ads with RECON and see which root categories win when.
+    let ctx = SolverContext::indexed(instance, &sim.model);
+    let outcome = Recon::new().run(&ctx);
+    println!(
+        "\nRECON assigned {} ads, total utility {:.4} in {:.2?}",
+        outcome.assignments.len(),
+        outcome.total_utility,
+        outcome.elapsed
+    );
+
+    // Split the day into morning (6–12), afternoon (12–18), night (18–6)
+    // and count which top-level categories receive ads in each window.
+    let tax = &sim.taxonomy;
+    let mut counts: Vec<[usize; 3]> = vec![[0; 3]; tax.roots().len()];
+    for a in outcome.assignments.assignments() {
+        let hour = instance.customer(a.customer).arrival.hours();
+        let window = if (6.0..12.0).contains(&hour) {
+            0
+        } else if (12.0..18.0).contains(&hour) {
+            1
+        } else {
+            2
+        };
+        // Vendor's dominant tag → its root category.
+        let tags = &instance.vendor(a.vendor).tags;
+        let (top_tag, _) = tags
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty tag vector");
+        let root = tax.path_from_root(TagId(top_tag as u32))[0];
+        let root_idx = tax
+            .roots()
+            .iter()
+            .position(|&r| r == root)
+            .expect("root exists");
+        counts[root_idx][window] += 1;
+    }
+
+    println!("\nads per top-level category (morning / afternoon / night):");
+    for (i, &root) in tax.roots().iter().enumerate() {
+        let [m, a, n] = counts[i];
+        if m + a + n > 0 {
+            println!("  {:<28} {:>4} / {:>4} / {:>4}", tax.name(root), m, a, n);
+        }
+    }
+}

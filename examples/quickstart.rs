@@ -1,0 +1,98 @@
+//! Quickstart: build a tiny MUAA instance by hand, solve it offline
+//! with RECON and GREEDY, compare to the exact optimum, and stream the
+//! same customers through the O-AFA online algorithm.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use muaa::prelude::*;
+
+fn main() {
+    // --- 1. The broker's ad catalogue (Definition 3). ---------------
+    let ad_types = [
+        AdType::new("Text Link", Money::from_dollars(1.0), 0.1),
+        AdType::new("Photo Link", Money::from_dollars(2.0), 0.4),
+    ];
+
+    // --- 2. A handful of customers and vendors over 3 tags. ---------
+    // Tags: [coffee, pizza, books]
+    let customers = (0..6).map(|i| Customer {
+        location: Point::new(0.2 + 0.1 * i as f64, 0.5),
+        capacity: 2,
+        view_probability: 0.2 + 0.1 * i as f64,
+        interests: TagVector::new(vec![
+            0.9 - 0.1 * i as f64, // coffee lovers first
+            0.2 + 0.1 * i as f64, // pizza lovers later
+            0.5,
+        ])
+        .expect("scores in [0,1]"),
+        arrival: Timestamp::from_hours(9.0 + i as f64),
+    });
+    let vendors = [
+        ("Espresso Bar", (0.3, 0.55), vec![1.0, 0.1, 0.3]),
+        ("Pizzeria", (0.6, 0.45), vec![0.1, 1.0, 0.2]),
+        ("Bookshop", (0.5, 0.6), vec![0.3, 0.2, 1.0]),
+    ]
+    .into_iter()
+    .map(|(name, (x, y), tags)| {
+        println!("vendor: {name}");
+        Vendor {
+            location: Point::new(x, y),
+            radius: 0.35,
+            budget: Money::from_dollars(4.0),
+            tags: TagVector::new(tags).expect("scores in [0,1]"),
+        }
+    });
+
+    let instance = InstanceBuilder::new()
+        .ad_types(ad_types)
+        .customers(customers)
+        .vendors(vendors)
+        .build()
+        .expect("valid instance");
+
+    // --- 3. The utility model (Eq. 4 + Eq. 5, no temporal weighting). --
+    let model = PearsonUtility::uniform(instance.tag_universe());
+    let ctx = SolverContext::indexed(&instance, &model);
+
+    // --- 4. Offline solvers. -----------------------------------------
+    let recon = Recon::new().run(&ctx);
+    let greedy = Greedy.run(&ctx);
+    let exact = ExactBnB::new().run(&ctx);
+    println!("\noffline results (total utility):");
+    println!("  EXACT  {:.6}", exact.total_utility);
+    println!(
+        "  RECON  {:.6}  ({} ads, {:?})",
+        recon.total_utility,
+        recon.assignments.len(),
+        recon.elapsed
+    );
+    println!(
+        "  GREEDY {:.6}  ({} ads, {:?})",
+        greedy.total_utility,
+        greedy.assignments.len(),
+        greedy.elapsed
+    );
+
+    // --- 5. The online algorithm over the same arrival stream. --------
+    let bounds = estimate_gamma_bounds(&ctx, 500, 7).expect("instances exist");
+    let mut online = OAfa::new(ThresholdFn::adaptive(bounds.gamma_min, bounds.g));
+    let outcome = run_online(&mut online, &ctx);
+    println!(
+        "  ONLINE {:.6}  (competitive vs exact: {:.2}%)",
+        outcome.total_utility,
+        100.0 * outcome.total_utility / exact.total_utility
+    );
+
+    // --- 6. Inspect the optimal assignment. ----------------------------
+    println!("\nexact optimal assignment:");
+    for a in exact.assignments.assignments() {
+        let t = instance.ad_type(a.ad_type);
+        println!(
+            "  {} receives a {} ad from {} (utility {:.6})",
+            a.customer,
+            t.name,
+            a.vendor,
+            ctx.utility(a.customer, a.vendor, a.ad_type)
+        );
+    }
+}

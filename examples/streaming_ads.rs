@@ -1,0 +1,73 @@
+//! Streaming ad assignment: customers arrive one by one and the O-AFA
+//! online algorithm decides, irrevocably, which ads to push — exactly
+//! the deployment scenario of the paper's §IV. The example compares
+//! the adaptive threshold against a static threshold and no threshold
+//! at all, and against the offline RECON "hindsight" solution.
+//!
+//! Run with: `cargo run --release --example streaming_ads`
+
+use muaa::prelude::*;
+
+fn main() {
+    // A mid-size synthetic city with deliberately tight budgets so the
+    // threshold policy matters: the stream is long enough to exhaust
+    // vendor budgets early if the algorithm is not selective.
+    let config = SyntheticConfig {
+        customers: 5_000,
+        vendors: 60,
+        budget: Range::new(2.0, 4.0),
+        radius: Range::new(0.05, 0.1),
+        ..Default::default()
+    };
+    let instance = generate_synthetic(&config);
+    let model = PearsonUtility::uniform(config.tags);
+    let ctx = SolverContext::indexed(&instance, &model);
+
+    // §IV-C: estimate γ_min / γ_max / g from a sample.
+    let bounds = estimate_gamma_bounds(&ctx, 1_000, 42).expect("non-degenerate instance");
+    println!(
+        "estimated γ_min = {:.5}, γ_max = {:.5}, g = {:.3}",
+        bounds.gamma_min, bounds.gamma_max, bounds.g
+    );
+
+    let total_budget: f64 = instance
+        .vendors()
+        .iter()
+        .map(|v| v.budget.as_dollars())
+        .sum();
+
+    let run = |label: &str, threshold: ThresholdFn| {
+        let mut solver = OAfa::new(threshold);
+        let outcome = run_online(&mut solver, &ctx);
+        println!(
+            "{label:<18} utility {:>9.5}  ads {:>5}  spend {:>5.1}% of budget  ({:.2?})",
+            outcome.total_utility,
+            outcome.assignments.len(),
+            100.0 * outcome.assignments.total_spend().as_dollars() / total_budget,
+            outcome.elapsed,
+        );
+        outcome.total_utility
+    };
+
+    println!("\nonline policies over the same arrival stream:");
+    let adaptive = run(
+        "adaptive φ(δ)",
+        ThresholdFn::adaptive(bounds.gamma_min, bounds.g),
+    );
+    run(
+        "static φ=γ_min",
+        ThresholdFn::Static {
+            value: bounds.gamma_min,
+        },
+    );
+    run("no threshold", ThresholdFn::Disabled);
+
+    // Hindsight: what an offline algorithm achieves with the full
+    // snapshot (the competitive-ratio yardstick).
+    let recon = Recon::new().run(&ctx);
+    println!(
+        "\noffline RECON (hindsight) utility {:.5} → adaptive online achieves {:.1}% of it",
+        recon.total_utility,
+        100.0 * adaptive / recon.total_utility
+    );
+}

@@ -1,0 +1,22 @@
+//! The `muaa` binary: thin wrapper over [`muaa::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match muaa::cli::parse(&args).and_then(muaa::cli::execute) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(muaa::cli::CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            eprintln!("{}", muaa::cli::USAGE);
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

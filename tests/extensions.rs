@@ -1,0 +1,109 @@
+//! Integration tests for the beyond-paper extensions: the batched
+//! semi-online solver, the broker session API, and the instance I/O
+//! pipeline — all exercised together across crates.
+
+use muaa::core::io;
+use muaa::prelude::*;
+use muaa_algorithms::BatchedRecon;
+
+fn workload(seed: u64) -> (muaa::core::ProblemInstance, PearsonUtility) {
+    let cfg = SyntheticConfig {
+        customers: 600,
+        vendors: 25,
+        radius: Range::new(0.05, 0.12),
+        budget: Range::new(3.0, 6.0),
+        seed,
+        ..Default::default()
+    };
+    let tags = cfg.tags;
+    (generate_synthetic(&cfg), PearsonUtility::uniform(tags))
+}
+
+#[test]
+fn lookahead_value_is_monotone_between_extremes() {
+    let (inst, model) = workload(31);
+    let ctx = SolverContext::indexed(&inst, &model);
+    let full = BatchedRecon::new(1).run(&ctx).total_utility;
+    let some = BatchedRecon::new(8).run(&ctx).total_utility;
+    let none = BatchedRecon::new(600).run(&ctx).total_utility;
+    // More lookahead should never be (meaningfully) worse.
+    assert!(full * 1.05 >= some, "full {full} vs some {some}");
+    assert!(some * 1.10 >= none, "some {some} vs none {none}");
+    assert!(none > 0.0);
+}
+
+#[test]
+fn batched_and_session_agree_with_their_references() {
+    let (inst, model) = workload(32);
+    let ctx = SolverContext::indexed(&inst, &model);
+
+    // Session with no threshold == run_online(OAfa disabled).
+    let mut oafa = OAfa::new(ThresholdFn::Disabled);
+    let reference = run_online(&mut oafa, &ctx);
+    let mut session = BrokerSession::with_threshold(&inst, &model, ThresholdFn::Disabled);
+    session.serve_remaining();
+    assert_eq!(
+        session.assignments().assignments(),
+        reference.assignments.assignments()
+    );
+    assert!((session.total_utility() - reference.total_utility).abs() < 1e-9);
+}
+
+#[test]
+fn io_roundtrip_preserves_solver_behaviour() {
+    let (inst, model) = workload(33);
+    // Serialize → reload → the deterministic solvers must produce the
+    // identical assignment sets on the reloaded instance.
+    let text = io::to_string(&inst);
+    let reloaded = io::from_str(&text).expect("roundtrip");
+    let ctx_a = SolverContext::indexed(&inst, &model);
+    let ctx_b = SolverContext::indexed(&reloaded, &model);
+    let a = Greedy.assign(&ctx_a);
+    let b = Greedy.assign(&ctx_b);
+    assert_eq!(a.assignments(), b.assignments());
+    let a = Recon::new().with_seed(1).assign(&ctx_a);
+    let b = Recon::new().with_seed(1).assign(&ctx_b);
+    assert_eq!(a.assignments(), b.assignments());
+}
+
+#[test]
+fn foursquare_instance_survives_io_roundtrip() {
+    let sim = FoursquareSim::generate(&FoursquareConfig {
+        checkins: 400,
+        venues: 50,
+        users: 40,
+        ..Default::default()
+    });
+    let text = io::to_string(&sim.instance);
+    let reloaded = io::from_str(&text).expect("roundtrip");
+    assert_eq!(reloaded.num_customers(), sim.instance.num_customers());
+    assert_eq!(reloaded.tag_universe(), sim.instance.tag_universe());
+    // The taxonomy-derived vectors survive bit-exactly, so utilities do
+    // too.
+    let ctx_a = SolverContext::indexed(&sim.instance, &sim.model);
+    let ctx_b = SolverContext::indexed(&reloaded, &sim.model);
+    for i in (0..sim.instance.num_customers()).step_by(37) {
+        let cid = CustomerId::from(i);
+        let mut va = ctx_a.valid_vendors(cid);
+        let mut vb = ctx_b.valid_vendors(cid);
+        va.sort_unstable();
+        vb.sort_unstable();
+        assert_eq!(va, vb);
+        for vid in va {
+            assert_eq!(ctx_a.pair_base(cid, vid), ctx_b.pair_base(cid, vid));
+        }
+    }
+}
+
+#[test]
+fn session_latency_stats_accumulate_sanely() {
+    let (inst, model) = workload(34);
+    let mut session = BrokerSession::start(&inst, &model);
+    assert_eq!(session.latency().served, 0);
+    assert_eq!(session.latency().mean(), std::time::Duration::ZERO);
+    session.serve_remaining();
+    let stats = session.latency();
+    assert_eq!(stats.served, inst.num_customers());
+    assert!(stats.max >= stats.mean());
+    assert!(stats.total >= stats.max);
+}

@@ -1,0 +1,86 @@
+//! End-to-end replay of the paper's Example 1 through the facade
+//! crate, pinning the paper's stated numbers and the documented
+//! erratum (DESIGN.md §6).
+
+use muaa::experiments::figures::example1;
+use muaa::prelude::*;
+
+#[test]
+fn example1_exact_optimum_and_erratum() {
+    let report = example1::run();
+    // The paper's claimed optimum (0.0504) is feasible; the true
+    // optimum is strictly better (≈ 0.052043).
+    assert!(report.exact >= example1::PAPER_CLAIMED_OPTIMUM - 1e-9);
+    assert!(
+        (report.exact - 0.052043).abs() < 1e-4,
+        "exact {}",
+        report.exact
+    );
+    // Five assignments in the optimum, as in the paper's solution shape.
+    assert_eq!(report.optimal_assignments.len(), 5);
+}
+
+#[test]
+fn example1_heuristics_beat_the_papers_possible_solution() {
+    let report = example1::run();
+    assert!(
+        report.recon > example1::PAPER_POSSIBLE_SOLUTION,
+        "recon {}",
+        report.recon
+    );
+    assert!(
+        report.greedy > example1::PAPER_POSSIBLE_SOLUTION,
+        "greedy {}",
+        report.greedy
+    );
+}
+
+#[test]
+fn example1_instance_matches_tables() {
+    let (instance, model) = example1::build();
+    assert_eq!(instance.num_customers(), 3);
+    assert_eq!(instance.num_vendors(), 3);
+    assert_eq!(instance.num_ad_types(), 2);
+    // Table I.
+    assert_eq!(
+        instance.ad_type(AdTypeId::new(0)).cost,
+        Money::from_dollars(1.0)
+    );
+    assert_eq!(
+        instance.ad_type(AdTypeId::new(1)).cost,
+        Money::from_dollars(2.0)
+    );
+    // Every vendor: $3 budget; every customer: capacity 2, as in Example 1.
+    for (_, v) in instance.vendors_enumerated() {
+        assert_eq!(v.budget, Money::from_dollars(3.0));
+    }
+    for (_, c) in instance.customers_enumerated() {
+        assert_eq!(c.capacity, 2);
+    }
+    // The paper's spotlight value: <u3, v2, PL> = 0.0072.
+    let lam = model.utility(
+        CustomerId::new(2),
+        instance.customer(CustomerId::new(2)),
+        VendorId::new(1),
+        instance.vendor(VendorId::new(1)),
+        instance.ad_type(AdTypeId::new(1)),
+    );
+    assert!((lam - 0.0072).abs() < 1e-12);
+}
+
+#[test]
+fn example1_papers_possible_solution_scores_as_stated() {
+    let (instance, model) = example1::build();
+    // {⟨u1,v1,TL⟩, ⟨u2,v1,PL⟩, ⟨u1,v2,TL⟩, ⟨u2,v2,PL⟩, ⟨u3,v3,PL⟩} → 0.0357.
+    let triples = [(0, 0, 0), (1, 0, 1), (0, 1, 0), (1, 1, 1), (2, 2, 1)];
+    let mut set = AssignmentSet::new(&instance);
+    for &(c, v, t) in &triples {
+        assert!(set.try_push(
+            &instance,
+            Assignment::new(CustomerId::new(c), VendorId::new(v), AdTypeId::new(t))
+        ));
+    }
+    assert!(set.check_feasibility(&instance, &model).is_feasible());
+    let u = set.total_utility(&instance, &model);
+    assert!((u - 0.0357).abs() < 5e-4, "possible-solution utility {u}");
+}

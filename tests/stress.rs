@@ -1,0 +1,92 @@
+//! Large-scale stress tests, ignored by default (`cargo test --release
+//! -- --ignored` to run). These exercise the paper's biggest synthetic
+//! configuration (Figure 7's 100K customers) end-to-end and assert
+//! feasibility plus sane wall-clock behaviour.
+
+use muaa::prelude::*;
+use std::time::Instant;
+
+#[test]
+#[ignore = "large-scale stress test; run with --ignored in release mode"]
+fn hundred_thousand_customers_recon_and_online() {
+    let cfg = SyntheticConfig {
+        customers: 100_000,
+        vendors: 500,
+        ..Default::default()
+    };
+    let tags = cfg.tags;
+    let t0 = Instant::now();
+    let instance = generate_synthetic(&cfg);
+    let model = PearsonUtility::uniform(tags);
+    let ctx = SolverContext::indexed(&instance, &model);
+    eprintln!("generated + indexed 100k×500 in {:?}", t0.elapsed());
+
+    let recon = Recon::new().run(&ctx);
+    eprintln!(
+        "RECON: utility {:.2}, {} ads, {:?}",
+        recon.total_utility,
+        recon.assignments.len(),
+        recon.elapsed
+    );
+    assert!(recon
+        .assignments
+        .check_feasibility(&instance, &model)
+        .is_feasible());
+    assert!(recon.total_utility > 0.0);
+
+    let bounds = estimate_gamma_bounds(&ctx, 2_000, 7).expect("non-degenerate");
+    let mut solver = OAfa::new(ThresholdFn::adaptive(bounds.gamma_min, bounds.g));
+    let online = run_online(&mut solver, &ctx);
+    eprintln!(
+        "ONLINE: utility {:.2}, {} ads, {:?} ({:.2} µs/customer)",
+        online.total_utility,
+        online.assignments.len(),
+        online.elapsed,
+        online.elapsed.as_secs_f64() * 1e6 / 100_000.0
+    );
+    assert!(online
+        .assignments
+        .check_feasibility(&instance, &model)
+        .is_feasible());
+    // The paper's responsiveness claim, scaled: well under 1 s per
+    // customer on average.
+    assert!(online.elapsed.as_secs_f64() / 100_000.0 < 1.0);
+}
+
+#[test]
+#[ignore = "large-scale stress test; run with --ignored in release mode"]
+fn paper_scale_foursquare_sim_generates_and_solves() {
+    // The paper's full real-data magnitudes.
+    let cfg = FoursquareConfig {
+        checkins: 441_060,
+        venues: 7_222,
+        users: 2_293,
+        min_checkins_per_venue: 10,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let sim = FoursquareSim::generate(&cfg);
+    eprintln!(
+        "generated {} customers / {} vendors in {:?}",
+        sim.instance.num_customers(),
+        sim.instance.num_vendors(),
+        t0.elapsed()
+    );
+    assert_eq!(sim.instance.num_customers(), 441_060);
+    assert!(sim.instance.num_vendors() > 0);
+
+    let ctx = SolverContext::indexed(&sim.instance, &sim.model);
+    let bounds = estimate_gamma_bounds(&ctx, 2_000, 7).expect("non-degenerate");
+    let mut solver = OAfa::new(ThresholdFn::adaptive(bounds.gamma_min, bounds.g));
+    let online = run_online(&mut solver, &ctx);
+    eprintln!(
+        "ONLINE at paper scale: utility {:.2}, {} ads, {:?}",
+        online.total_utility,
+        online.assignments.len(),
+        online.elapsed
+    );
+    assert!(online
+        .assignments
+        .check_feasibility(&sim.instance, &sim.model)
+        .is_feasible());
+}
