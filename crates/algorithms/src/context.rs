@@ -2,9 +2,54 @@
 //! against — instance, utility model and spatial indexes.
 
 use muaa_core::{
-    AdType, AdTypeId, Customer, CustomerId, Money, ProblemInstance, UtilityModel, Vendor, VendorId,
+    par, AdType, AdTypeId, Customer, CustomerId, CustomerMoments, Money, PearsonUtility,
+    ProblemInstance, UtilityModel, Vendor, VendorId,
 };
 use muaa_spatial::{GridIndex, VendorIndex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Largest (customers × vendors) product for which the dense pair-base
+/// memo table is allocated: 2²³ entries = 64 MiB of `AtomicU64`. Above
+/// this, pairs are still evaluated through the fused-moment fast path,
+/// just not memoized.
+const MEMO_MAX_PAIRS: usize = 1 << 23;
+
+/// Sentinel marking an unfilled memo slot. This is a NaN bit pattern;
+/// [`SolverContext::pair_base`] never returns NaN (non-finite distances
+/// are mapped to 0 and similarities are clamped), so no real value
+/// collides with it.
+const MEMO_EMPTY: u64 = u64::MAX;
+
+/// Precomputed per-customer Pearson moments plus a lazily filled dense
+/// memo of pair-base values, keyed `(customer, vendor)`.
+///
+/// The memo is a table of `f64` bit patterns behind relaxed atomics:
+/// every thread that fills a slot computes the *same* deterministic
+/// value, so racing writers are benign and reads need no ordering.
+struct PairCache {
+    /// One [`CustomerMoments`] per customer, in id order.
+    moments: Vec<CustomerMoments>,
+    /// `memo[cid.index() * vendors + vid.index()]`, or `None` when the
+    /// instance exceeds [`MEMO_MAX_PAIRS`] (or has no pairs).
+    memo: Option<Vec<AtomicU64>>,
+    /// Row stride of `memo`.
+    vendors: usize,
+}
+
+impl PairCache {
+    fn build(instance: &ProblemInstance, pearson: &PearsonUtility) -> Self {
+        let moments = par::par_map(instance.customers(), 64, |_, c| pearson.customer_moments(c));
+        let vendors = instance.vendors().len();
+        let pairs = instance.customers().len().saturating_mul(vendors);
+        let memo = (0 < pairs && pairs <= MEMO_MAX_PAIRS)
+            .then(|| (0..pairs).map(|_| AtomicU64::new(MEMO_EMPTY)).collect());
+        PairCache {
+            moments,
+            memo,
+            vendors,
+        }
+    }
+}
 
 /// Read-only solver state: the problem instance, the utility model, and
 /// (optionally) grid indexes over customer and vendor locations.
@@ -25,32 +70,68 @@ pub struct SolverContext<'a> {
     model: &'a dyn UtilityModel,
     customer_grid: Option<GridIndex>,
     vendor_index: Option<VendorIndex>,
+    /// `Some` iff the model downcasts to [`PearsonUtility`]; enables the
+    /// fused-moment pair-base fast path.
+    pearson: Option<&'a PearsonUtility>,
+    cache: Option<PairCache>,
 }
 
 impl<'a> SolverContext<'a> {
     /// Build a context with spatial indexes (Euclidean models only; see
-    /// the type docs).
+    /// the type docs). For Pearson models this also precomputes the
+    /// per-customer similarity moments and allocates the pair-base memo
+    /// (see DESIGN.md §10); the spatial indexes and the cache are built
+    /// concurrently.
     pub fn indexed(instance: &'a ProblemInstance, model: &'a dyn UtilityModel) -> Self {
-        let customer_points = instance.customers().iter().map(|c| c.location).collect();
-        let mean_radius = instance.stats().mean_radius.max(1e-6);
-        let customer_grid = Some(GridIndex::new(customer_points, mean_radius));
-        let vendor_index = Some(VendorIndex::new(instance.vendors()));
+        let pearson = model.as_pearson();
+        let (indexes, cache) = par::join(
+            || {
+                let customer_points = instance.customers().iter().map(|c| c.location).collect();
+                let mean_radius = instance.stats().mean_radius.max(1e-6);
+                let customer_grid = GridIndex::new(customer_points, mean_radius);
+                let vendor_index = VendorIndex::new(instance.vendors());
+                (customer_grid, vendor_index)
+            },
+            || pearson.map(|p| PairCache::build(instance, p)),
+        );
         SolverContext {
             instance,
             model,
-            customer_grid,
-            vendor_index,
+            customer_grid: Some(indexes.0),
+            vendor_index: Some(indexes.1),
+            pearson,
+            cache,
         }
     }
 
     /// Build a context without spatial indexes (any distance model).
+    /// Pair validity scans all entities, but Pearson models still get
+    /// the moments cache — only non-geometric models (e.g.
+    /// [`TableUtility`](muaa_core::TableUtility)) bypass it entirely.
     pub fn brute_force(instance: &'a ProblemInstance, model: &'a dyn UtilityModel) -> Self {
+        let pearson = model.as_pearson();
         SolverContext {
             instance,
             model,
             customer_grid: None,
             vendor_index: None,
+            pearson,
+            cache: pearson.map(|p| PairCache::build(instance, p)),
         }
+    }
+
+    /// Drop the pair cache (moments and memo), forcing every pair-base
+    /// evaluation through the uncached [`UtilityModel`] calls. Intended
+    /// for tests and benchmarks that compare the two paths.
+    pub fn without_pair_cache(mut self) -> Self {
+        self.cache = None;
+        self.pearson = None;
+        self
+    }
+
+    /// `true` iff the fused-moment pair cache is active.
+    pub fn has_pair_cache(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// The problem instance.
@@ -132,7 +213,54 @@ impl<'a> SolverContext<'a> {
     /// The pair's *base utility* `p_i · s(u_i,v_j,φ) / d(u_i,v_j,φ)`:
     /// Eq. (4) without the ad-type factor. `λ_ijk = base · β_k`, so
     /// callers evaluating several ad types per pair compute this once.
+    ///
+    /// With a Pearson model this goes through the pair cache: a memo
+    /// lookup when the dense table fits, otherwise a single fused pass
+    /// over the tag vectors using the customer's precomputed moments.
+    /// Both are bit-identical to the uncached evaluation.
     pub fn pair_base(&self, cid: CustomerId, vid: VendorId) -> f64 {
+        let Some(cache) = &self.cache else {
+            return self.pair_base_uncached(cid, vid);
+        };
+        match &cache.memo {
+            Some(memo) => {
+                let slot = &memo[cid.index() * cache.vendors + vid.index()];
+                let bits = slot.load(Ordering::Relaxed);
+                if bits != MEMO_EMPTY {
+                    return f64::from_bits(bits);
+                }
+                let base = self.pair_base_fused(cache, cid, vid);
+                slot.store(base.to_bits(), Ordering::Relaxed);
+                base
+            }
+            None => self.pair_base_fused(cache, cid, vid),
+        }
+    }
+
+    /// Fused-moment pair base: distance and similarity in one pass, no
+    /// allocation, no virtual dispatch. Arithmetic is bit-identical to
+    /// [`pair_base_uncached`](Self::pair_base_uncached) on a Pearson
+    /// model (see `similarity_with_moments`).
+    fn pair_base_fused(&self, cache: &PairCache, cid: CustomerId, vid: VendorId) -> f64 {
+        let pearson = self
+            .pearson
+            .expect("pair cache exists only for Pearson models");
+        let c = self.instance.customer(cid);
+        let v = self.instance.vendor(vid);
+        let d = c
+            .location
+            .clamped_distance(&v.location, pearson.min_distance());
+        if d <= 0.0 || d.is_nan() || d.is_infinite() {
+            return 0.0;
+        }
+        let s = pearson.similarity_with_moments(&cache.moments[cid.index()], c, v);
+        c.view_probability * s / d
+    }
+
+    /// Pair base through the [`UtilityModel`] trait calls — the only
+    /// path for non-Pearson models and for contexts stripped with
+    /// [`without_pair_cache`](Self::without_pair_cache).
+    fn pair_base_uncached(&self, cid: CustomerId, vid: VendorId) -> f64 {
         let c = self.instance.customer(cid);
         let v = self.instance.vendor(vid);
         let d = self.model.distance(cid, c, vid, v);
@@ -387,6 +515,57 @@ mod tests {
         assert!(ctx
             .best_ad_type(CustomerId::new(0), VendorId::new(1), Money::MAX)
             .is_none());
+    }
+
+    #[test]
+    fn pair_cache_is_bit_identical_to_uncached() {
+        let inst = make_instance();
+        let model = PearsonUtility::uniform(2);
+        let cached = SolverContext::indexed(&inst, &model);
+        let uncached = SolverContext::indexed(&inst, &model).without_pair_cache();
+        assert!(cached.has_pair_cache());
+        assert!(!uncached.has_pair_cache());
+        for (cid, _) in inst.customers_enumerated() {
+            for (vid, _) in inst.vendors_enumerated() {
+                let a = cached.pair_base(cid, vid);
+                let b = uncached.pair_base(cid, vid);
+                assert_eq!(a.to_bits(), b.to_bits(), "pair ({cid}, {vid})");
+                // Second call exercises the memo-hit path.
+                assert_eq!(cached.pair_base(cid, vid).to_bits(), a.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn non_pearson_models_get_no_cache() {
+        let inst = make_instance();
+        let table = muaa_core::TableUtility::new().with_pair(
+            CustomerId::new(0),
+            VendorId::new(0),
+            0.9,
+            7.5,
+        );
+        let ctx = SolverContext::brute_force(&inst, &table);
+        assert!(!ctx.has_pair_cache());
+        let base = ctx.pair_base(CustomerId::new(0), VendorId::new(0));
+        assert!((base - 0.5 * 0.9 / 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brute_force_pearson_still_gets_cache() {
+        let inst = make_instance();
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::brute_force(&inst, &model);
+        assert!(ctx.has_pair_cache());
+        let reference = SolverContext::brute_force(&inst, &model).without_pair_cache();
+        for (cid, _) in inst.customers_enumerated() {
+            for (vid, _) in inst.vendors_enumerated() {
+                assert_eq!(
+                    ctx.pair_base(cid, vid).to_bits(),
+                    reference.pair_base(cid, vid).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

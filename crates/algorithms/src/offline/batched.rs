@@ -88,51 +88,67 @@ impl OfflineSolver for BatchedRecon {
 
             // ---- Phase 1 per window: MCKP over remaining budgets. ----
             // picked[vendor] = (customer, ad type, λ) chosen this window.
+            // Each vendor's MCKP reads only the committed `set`, so the
+            // solves fan out in parallel; `window_load` is then derived
+            // sequentially from the per-vendor lists in vendor order,
+            // matching the sequential loop's state exactly.
             let mut picked: Vec<Vec<(CustomerId, AdTypeId, f64)>> =
-                vec![Vec::new(); inst.num_vendors()];
-            let mut window_load = vec![0u32; hi - lo];
-            for (vid, vendor) in inst.vendors_enumerated() {
-                let remaining = vendor.budget - set.vendor_spend(vid);
-                if remaining < inst.min_ad_cost() {
-                    continue;
-                }
-                let candidates: Vec<CustomerId> = valid_per_vendor[vid.index()]
-                    .iter()
-                    .copied()
-                    .filter(|&cid| in_window(cid))
-                    // Customers already at capacity from earlier windows
-                    // can never take another ad.
-                    .filter(|&cid| set.customer_load(cid) < inst.customer(cid).capacity)
-                    .collect();
-                if candidates.is_empty() {
-                    continue;
-                }
-                let mut problem = MckpProblem::new(remaining.as_cents());
-                let mut bases = Vec::with_capacity(candidates.len());
-                for &cid in &candidates {
-                    let base = ctx.pair_base(cid, vid);
-                    bases.push(base);
-                    problem.add_class(
-                        inst.ad_types()
-                            .iter()
-                            .map(|t| {
-                                MckpItem::new(t.cost.as_cents(), (base * t.effectiveness).max(0.0))
-                            })
-                            .collect(),
-                    );
-                }
-                let solution = match self.backend {
-                    MckpBackend::LpGreedy => muaa_knapsack::MckpLpGreedy.solve(&problem),
-                    MckpBackend::ExactDp => muaa_knapsack::MckpExactDp.solve(&problem),
-                    MckpBackend::Fptas(eps) => muaa_knapsack::MckpFptas::new(eps).solve(&problem),
-                };
-                for (class, item) in solution.picks() {
-                    let cid = candidates[class];
-                    let lambda = bases[class] * inst.ad_type(AdTypeId::from(item)).effectiveness;
-                    if lambda <= 0.0 {
-                        continue;
+                muaa_core::par::par_map(inst.vendors(), 1, |j, vendor| {
+                    let vid = VendorId::from(j);
+                    let remaining = vendor.budget - set.vendor_spend(vid);
+                    if remaining < inst.min_ad_cost() {
+                        return Vec::new();
                     }
-                    picked[vid.index()].push((cid, AdTypeId::from(item), lambda));
+                    let candidates: Vec<CustomerId> = valid_per_vendor[vid.index()]
+                        .iter()
+                        .copied()
+                        .filter(|&cid| in_window(cid))
+                        // Customers already at capacity from earlier windows
+                        // can never take another ad.
+                        .filter(|&cid| set.customer_load(cid) < inst.customer(cid).capacity)
+                        .collect();
+                    if candidates.is_empty() {
+                        return Vec::new();
+                    }
+                    let mut problem = MckpProblem::new(remaining.as_cents());
+                    let mut bases = Vec::with_capacity(candidates.len());
+                    for &cid in &candidates {
+                        let base = ctx.pair_base(cid, vid);
+                        bases.push(base);
+                        problem.add_class(
+                            inst.ad_types()
+                                .iter()
+                                .map(|t| {
+                                    MckpItem::new(
+                                        t.cost.as_cents(),
+                                        (base * t.effectiveness).max(0.0),
+                                    )
+                                })
+                                .collect(),
+                        );
+                    }
+                    let solution = match self.backend {
+                        MckpBackend::LpGreedy => muaa_knapsack::MckpLpGreedy.solve(&problem),
+                        MckpBackend::ExactDp => muaa_knapsack::MckpExactDp.solve(&problem),
+                        MckpBackend::Fptas(eps) => {
+                            muaa_knapsack::MckpFptas::new(eps).solve(&problem)
+                        }
+                    };
+                    let mut out = Vec::new();
+                    for (class, item) in solution.picks() {
+                        let cid = candidates[class];
+                        let lambda =
+                            bases[class] * inst.ad_type(AdTypeId::from(item)).effectiveness;
+                        if lambda <= 0.0 {
+                            continue;
+                        }
+                        out.push((cid, AdTypeId::from(item), lambda));
+                    }
+                    out
+                });
+            let mut window_load = vec![0u32; hi - lo];
+            for list in &picked {
+                for &(cid, _, _) in list {
                     window_load[cid.index() - lo] += 1;
                 }
             }

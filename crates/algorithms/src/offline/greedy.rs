@@ -25,11 +25,14 @@ struct Candidate {
 }
 
 /// Collect every valid (customer, vendor, ad type) triple with positive
-/// utility.
+/// utility. Vendors are scanned in parallel; per-vendor candidate lists
+/// are concatenated in vendor-id order, so the output is identical to
+/// the sequential scan.
 fn collect_candidates(ctx: &SolverContext<'_>) -> Vec<Candidate> {
     let inst = ctx.instance();
-    let mut out = Vec::new();
-    for (vid, _) in inst.vendors_enumerated() {
+    let per_vendor = muaa_core::par::par_map(inst.vendors(), 1, |j, _| {
+        let vid = VendorId::from(j);
+        let mut out = Vec::new();
         for cid in ctx.valid_customers(vid) {
             let base = ctx.pair_base(cid, vid);
             if base <= 0.0 {
@@ -48,6 +51,11 @@ fn collect_candidates(ctx: &SolverContext<'_>) -> Vec<Candidate> {
                 });
             }
         }
+        out
+    });
+    let mut out = Vec::with_capacity(per_vendor.iter().map(Vec::len).sum());
+    for list in per_vendor {
+        out.extend(list);
     }
     out
 }

@@ -17,9 +17,16 @@ impl OfflineSolver for NearestAssign {
     fn assign(&self, ctx: &SolverContext<'_>) -> AssignmentSet {
         let inst = ctx.instance();
         let mut set = AssignmentSet::new(inst);
+        // The nearest-first vendor order per customer is independent of
+        // the evolving assignment state, so it fans out in parallel; the
+        // budget-aware commit loop below stays strictly sequential in
+        // arrival order.
+        let orders = muaa_core::par::par_map(inst.customers(), 32, |i, _| {
+            ctx.vendors_by_distance(muaa_core::CustomerId::from(i))
+        });
         for (cid, customer) in inst.customers_enumerated() {
             let mut granted = 0u32;
-            for vid in ctx.vendors_by_distance(cid) {
+            for &vid in &orders[cid.index()] {
                 if granted >= customer.capacity {
                     break;
                 }

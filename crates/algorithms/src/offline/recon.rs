@@ -186,7 +186,11 @@ impl OfflineSolver for Recon {
         let mut valid_customers_per_vendor: Vec<Vec<CustomerId>> = Vec::with_capacity(n_vendors);
 
         // ---- Phase 1: single-vendor MCKPs (Alg. 1 lines 2–5). ----
-        for (vid, vendor) in inst.vendors_enumerated() {
+        // Each vendor's MCKP is independent, so the solves fan out in
+        // parallel; the load/spend bookkeeping is merged sequentially in
+        // vendor-id order, giving the same state as the sequential loop.
+        let phase1 = muaa_core::par::par_map(inst.vendors(), 1, |j, vendor| {
+            let vid = VendorId::from(j);
             let valid = ctx.valid_customers(vid);
             let mut problem = MckpProblem::new(vendor.budget.as_cents());
             // Class order ↔ valid-customer order.
@@ -213,8 +217,13 @@ impl OfflineSolver for Recon {
                     continue;
                 }
                 picked.push((cid, tid, lambda));
+            }
+            (valid, picked)
+        });
+        for (j, (valid, picked)) in phase1.into_iter().enumerate() {
+            for &(cid, tid, _) in &picked {
                 load[cid.index()] += 1;
-                spend[vid.index()] += inst.ad_type(tid).cost;
+                spend[j] += inst.ad_type(tid).cost;
             }
             per_vendor.push(picked);
             valid_customers_per_vendor.push(valid);

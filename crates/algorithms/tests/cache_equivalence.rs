@@ -1,0 +1,146 @@
+//! Property tests for the performance substrate (DESIGN.md §10): a
+//! cached, parallel [`SolverContext`] must be observationally identical
+//! to an uncached, sequential one — same assignments byte for byte,
+//! same utilities bit for bit (0 ULP), for every solver.
+
+use muaa_algorithms::{
+    BatchedRecon, Greedy, NearestAssign, OfflineSolver, Recon, SolverContext,
+};
+use muaa_core::{
+    par, ActivityProfile, AdType, Customer, InstanceBuilder, Money, PearsonUtility, Point,
+    ProblemInstance, TagVector, Timestamp, Vendor,
+};
+use proptest::prelude::*;
+
+const TAGS: usize = 4;
+
+/// A non-uniform activity profile so the moments path is exercised with
+/// real time-dependent weights, not the degenerate all-ones case.
+fn diurnal_profile() -> ActivityProfile {
+    let curves: Vec<Vec<f64>> = (0..TAGS)
+        .map(|t| {
+            (0..24)
+                .map(|h| {
+                    let phase = (h + 6 * t) % 24;
+                    0.1 + 0.8 * (phase as f64 / 23.0)
+                })
+                .collect()
+        })
+        .collect();
+    ActivityProfile::from_hourly(&curves).expect("valid curves")
+}
+
+fn instance_strategy() -> impl Strategy<Value = ProblemInstance> {
+    let customer = (
+        (0.0..1.0f64, 0.0..1.0f64),
+        1..4u32,
+        0.0..1.0f64,
+        proptest::collection::vec(0.0..1.0f64, TAGS),
+        0.0..24.0f64,
+    )
+        .prop_map(|((x, y), capacity, p, interests, hour)| Customer {
+            location: Point::new(x, y),
+            capacity,
+            view_probability: p,
+            interests: TagVector::new(interests).expect("valid"),
+            arrival: Timestamp::from_hours(hour),
+        });
+    let vendor = (
+        (0.0..1.0f64, 0.0..1.0f64),
+        0.0..1.5f64,
+        0u64..700,
+        proptest::collection::vec(0.0..1.0f64, TAGS),
+    )
+        .prop_map(|((x, y), radius, budget, tags)| Vendor {
+            location: Point::new(x, y),
+            radius,
+            budget: Money::from_cents(budget),
+            tags: TagVector::new(tags).expect("valid"),
+        });
+    (
+        proptest::collection::vec(customer, 0..10),
+        proptest::collection::vec(vendor, 0..6),
+    )
+        .prop_map(|(customers, vendors)| {
+            InstanceBuilder::new()
+                .customers(customers)
+                .vendors(vendors)
+                .ad_types([
+                    AdType::new("TL", Money::from_cents(100), 0.1),
+                    AdType::new("PL", Money::from_cents(200), 0.4),
+                ])
+                .build()
+                .expect("valid instance")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every pair-base value out of the cached context (memo hit, memo
+    /// fill, and fused-moment paths alike) is bit-identical to the
+    /// uncached trait-object evaluation.
+    #[test]
+    fn pair_base_cache_is_zero_ulp(instance in instance_strategy()) {
+        let model = PearsonUtility::new(diurnal_profile());
+        let cached = SolverContext::indexed(&instance, &model);
+        let uncached = SolverContext::indexed(&instance, &model).without_pair_cache();
+        prop_assert!(cached.has_pair_cache());
+        prop_assert!(!uncached.has_pair_cache());
+        for (cid, _) in instance.customers_enumerated() {
+            for (vid, _) in instance.vendors_enumerated() {
+                // First call fills the memo, second reads it.
+                let fill = cached.pair_base(cid, vid);
+                let hit = cached.pair_base(cid, vid);
+                let reference = uncached.pair_base(cid, vid);
+                prop_assert_eq!(fill.to_bits(), reference.to_bits(), "fill ({}, {})", cid, vid);
+                prop_assert_eq!(hit.to_bits(), reference.to_bits(), "hit ({}, {})", cid, vid);
+            }
+        }
+    }
+
+    /// GREEDY, RECON, NEAREST and BATCHED-RECON produce byte-identical
+    /// assignment sets (and bit-identical total utilities) whether they
+    /// run cached + parallel or uncached + sequential.
+    #[test]
+    fn solvers_match_uncached_sequential(instance in instance_strategy()) {
+        let model = PearsonUtility::new(diurnal_profile());
+        let cached = SolverContext::indexed(&instance, &model);
+
+        let solvers: Vec<Box<dyn OfflineSolver>> = vec![
+            Box::new(Greedy),
+            Box::new(Recon::new()),
+            Box::new(NearestAssign),
+            Box::new(BatchedRecon::new(3)),
+        ];
+        for solver in &solvers {
+            let fast = solver.assign(&cached);
+            let slow = par::with_sequential(|| {
+                let ctx = SolverContext::indexed(&instance, &model).without_pair_cache();
+                solver.assign(&ctx)
+            });
+            prop_assert_eq!(
+                fast.assignments(),
+                slow.assignments(),
+                "{} diverged",
+                solver.name()
+            );
+            let fu = fast.total_utility(&instance, &model);
+            let su = slow.total_utility(&instance, &model);
+            prop_assert_eq!(fu.to_bits(), su.to_bits(), "{} utility drifted", solver.name());
+        }
+    }
+
+    /// The brute-force (index-free) construction is subject to the same
+    /// guarantee: the cache must not change which pairs are considered
+    /// valid, only how fast their base utility is computed.
+    #[test]
+    fn brute_force_contexts_agree_with_indexed(instance in instance_strategy()) {
+        let model = PearsonUtility::new(diurnal_profile());
+        let indexed = SolverContext::indexed(&instance, &model);
+        let brute = SolverContext::brute_force(&instance, &model);
+        let a = Greedy.assign(&indexed);
+        let b = Greedy.assign(&brute);
+        prop_assert_eq!(a.assignments(), b.assignments());
+    }
+}

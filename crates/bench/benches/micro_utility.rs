@@ -1,11 +1,14 @@
 //! Micro-benchmark: the Eq. 4/5 utility evaluation — weighted Pearson
 //! similarity over tag vectors of increasing width, with uniform and
-//! diurnal activity profiles.
+//! diurnal activity profiles — plus the performance-substrate ablations
+//! (DESIGN.md §10): pair-base cached vs uncached, and candidate
+//! generation at 1 thread vs all threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muaa_algorithms::{Greedy, OfflineSolver, SolverContext};
 use muaa_core::{
-    ActivityProfile, Customer, CustomerId, Money, PearsonUtility, Point, TagVector, Timestamp,
-    UtilityModel, Vendor, VendorId,
+    par, ActivityProfile, Customer, CustomerId, Money, PearsonUtility, Point, TagVector,
+    Timestamp, UtilityModel, Vendor, VendorId,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -67,5 +70,52 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// Pair-base evaluation: memoized cache hits vs the fused-moment fill
+/// path vs the uncached trait-object path, swept over every (customer,
+/// vendor) pair of a bench-sized synthetic instance.
+fn bench_pair_cache(c: &mut Criterion) {
+    let fixture = muaa_bench::synthetic_fixture(1000, 20, (5.0, 10.0));
+    let inst = &fixture.instance;
+    let cached = SolverContext::indexed(inst, &fixture.model);
+    let uncached = SolverContext::indexed(inst, &fixture.model).without_pair_cache();
+    let sweep = |ctx: &SolverContext<'_>| -> f64 {
+        let mut acc = 0.0;
+        for (cid, _) in inst.customers_enumerated() {
+            for (vid, _) in inst.vendors_enumerated() {
+                acc += ctx.pair_base(cid, vid);
+            }
+        }
+        acc
+    };
+    // Warm the memo so "cached" measures steady-state hits.
+    let _ = sweep(&cached);
+
+    let mut group = c.benchmark_group("micro_utility_pair_cache");
+    group.bench_function("pair_base_cached", |b| b.iter(|| sweep(&cached)));
+    group.bench_function("pair_base_uncached", |b| b.iter(|| sweep(&uncached)));
+    group.bench_function("context_build_cached", |b| {
+        b.iter(|| SolverContext::indexed(inst, &fixture.model))
+    });
+    group.finish();
+}
+
+/// Candidate generation (GREEDY's full collect + sort + sweep) on one
+/// thread vs all available threads, both over the same cached context —
+/// outputs are bit-identical, only wall-clock differs.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let fixture = muaa_bench::synthetic_fixture(2000, 40, (5.0, 10.0));
+    let ctx = SolverContext::indexed(&fixture.instance, &fixture.model);
+    let mut group = c.benchmark_group("micro_utility_threads");
+    group.sample_size(20);
+    group.bench_function(
+        BenchmarkId::new("greedy_assign_threads", par::max_threads()),
+        |b| b.iter(|| Greedy.assign(&ctx)),
+    );
+    group.bench_function(BenchmarkId::new("greedy_assign_threads", 1usize), |b| {
+        b.iter(|| par::with_sequential(|| Greedy.assign(&ctx)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_pair_cache, bench_thread_scaling);
 criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Standalone pair-cache benchmark report: measures the pair-base
+//! memoization speedup and the parallel candidate-generation scaling on
+//! a pair_base-heavy synthetic workload, then writes the numbers to
+//! `BENCH_pair_cache.json` in the current directory.
+//!
+//! Unlike the criterion benches this needs no harness and runs in a few
+//! seconds, so it can gate the ≥3× acceptance bar for DESIGN.md §10 in
+//! environments where criterion is unavailable.
+
+use muaa_algorithms::{Greedy, OfflineSolver, Recon, SolverContext};
+use muaa_core::par;
+use std::time::Instant;
+
+/// Best-of-N wall clock for `f`, in seconds.
+fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let customers = 10_000;
+    let vendors = 100;
+    let fixture = muaa_bench::synthetic_fixture(customers, vendors, (5.0, 10.0));
+    let inst = &fixture.instance;
+    let pairs = (customers * vendors) as f64;
+
+    let cached = SolverContext::indexed(inst, &fixture.model);
+    let uncached = SolverContext::indexed(inst, &fixture.model).without_pair_cache();
+    assert!(cached.has_pair_cache());
+
+    let sweep = |ctx: &SolverContext<'_>| -> f64 {
+        let mut acc = 0.0;
+        for (cid, _) in inst.customers_enumerated() {
+            for (vid, _) in inst.vendors_enumerated() {
+                acc += ctx.pair_base(cid, vid);
+            }
+        }
+        acc
+    };
+
+    // Fill pass first (fused-moment path), then steady-state hits.
+    let fill_s = best_of(1, || sweep(&cached));
+    let hit_s = best_of(5, || sweep(&cached));
+    let uncached_s = best_of(3, || sweep(&uncached));
+
+    // Identity sanity: the two paths must agree bit-for-bit.
+    assert_eq!(sweep(&cached).to_bits(), sweep(&uncached).to_bits());
+
+    // Solver-level wall clock, parallel vs forced-sequential, shared
+    // warm cache so only the fan-out differs.
+    let threads = par::max_threads();
+    let greedy_par_s = best_of(3, || Greedy.assign(&cached));
+    let greedy_seq_s = best_of(3, || par::with_sequential(|| Greedy.assign(&cached)));
+    let recon_par_s = best_of(3, || Recon::new().assign(&cached));
+    let recon_seq_s = best_of(3, || par::with_sequential(|| Recon::new().assign(&cached)));
+
+    // End-to-end: cold cached context + solve vs cold uncached
+    // sequential context + solve (what a user actually experiences).
+    let e2e_cached_s = best_of(3, || {
+        let ctx = SolverContext::indexed(inst, &fixture.model);
+        Greedy.assign(&ctx)
+    });
+    let e2e_uncached_s = best_of(3, || {
+        par::with_sequential(|| {
+            let ctx = SolverContext::indexed(inst, &fixture.model).without_pair_cache();
+            Greedy.assign(&ctx)
+        })
+    });
+
+    let speedup_hit = uncached_s / hit_s;
+    let speedup_fill = uncached_s / fill_s;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"fixture\": {{\"customers\": {}, \"vendors\": {}, \"tags\": 8}},\n",
+            "  \"threads\": {},\n",
+            "  \"pair_base_ns_per_pair\": {{\n",
+            "    \"uncached\": {:.3},\n",
+            "    \"cached_fill\": {:.3},\n",
+            "    \"cached_hit\": {:.3}\n",
+            "  }},\n",
+            "  \"pair_base_speedup\": {{\"hit\": {:.2}, \"fill\": {:.2}}},\n",
+            "  \"solver_wall_ms\": {{\n",
+            "    \"greedy_parallel\": {:.3},\n",
+            "    \"greedy_sequential\": {:.3},\n",
+            "    \"recon_parallel\": {:.3},\n",
+            "    \"recon_sequential\": {:.3},\n",
+            "    \"greedy_end_to_end_cached_parallel\": {:.3},\n",
+            "    \"greedy_end_to_end_uncached_sequential\": {:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        customers,
+        vendors,
+        threads,
+        uncached_s / pairs * 1e9,
+        fill_s / pairs * 1e9,
+        hit_s / pairs * 1e9,
+        speedup_hit,
+        speedup_fill,
+        greedy_par_s * 1e3,
+        greedy_seq_s * 1e3,
+        recon_par_s * 1e3,
+        recon_seq_s * 1e3,
+        e2e_cached_s * 1e3,
+        e2e_uncached_s * 1e3,
+    );
+    std::fs::write("BENCH_pair_cache.json", &json).expect("write BENCH_pair_cache.json");
+    print!("{json}");
+    eprintln!(
+        "pair_base memo-hit speedup: {speedup_hit:.2}x (target >= 3x); \
+         fill speedup: {speedup_fill:.2}x; threads: {threads}"
+    );
+}

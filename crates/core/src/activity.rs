@@ -126,9 +126,30 @@ impl ActivityProfile {
     /// `out` is resized to the number of tags.
     pub fn levels_at(&self, at: Timestamp, out: &mut Vec<f64>) {
         out.clear();
-        out.reserve(self.tags);
-        for tag in 0..self.tags {
-            out.push(self.level(tag, at));
+        out.resize(self.tags, 0.0);
+        self.levels_at_slice(at, out);
+    }
+
+    /// Scratch-free sibling of [`levels_at`](Self::levels_at): write the
+    /// per-tag activity levels at time `at` into a caller-owned buffer
+    /// (stack array or reusable `Vec`) of length exactly
+    /// [`tags`](Self::tags). The interpolation factors are hoisted out
+    /// of the per-tag loop, and each written value is bit-identical to
+    /// the corresponding [`level`](Self::level) call.
+    pub fn levels_at_slice(&self, at: Timestamp, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.tags,
+            "levels_at_slice buffer length must equal the tag count"
+        );
+        let h = at.hours();
+        let lo = h.floor() as usize % 24;
+        let hi = (lo + 1) % 24;
+        let frac = h - h.floor();
+        for (tag, slot) in out.iter_mut().enumerate() {
+            let a = self.levels[tag * 24 + lo];
+            let b = self.levels[tag * 24 + hi];
+            *slot = a + (b - a) * frac;
         }
     }
 }
@@ -192,5 +213,29 @@ mod tests {
         let mut out = Vec::new();
         p.levels_at(Timestamp::MIDNIGHT, &mut out);
         assert_eq!(out, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn levels_at_slice_matches_per_tag_level_exactly() {
+        let curves: Vec<Vec<f64>> = (0..5)
+            .map(|t| (0..24).map(|h| ((h * (t + 1)) % 24) as f64 / 23.0).collect())
+            .collect();
+        let p = ActivityProfile::from_hourly(&curves).unwrap();
+        let mut buf = [0.0; 5];
+        for at in [0.0, 6.25, 13.37, 23.75] {
+            let ts = Timestamp::from_hours(at);
+            p.levels_at_slice(ts, &mut buf);
+            for (tag, &got) in buf.iter().enumerate() {
+                assert_eq!(got.to_bits(), p.level(tag, ts).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn levels_at_slice_rejects_wrong_length() {
+        let p = ActivityProfile::uniform(3);
+        let mut buf = [0.0; 2];
+        p.levels_at_slice(Timestamp::MIDNIGHT, &mut buf);
     }
 }

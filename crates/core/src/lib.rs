@@ -53,6 +53,7 @@ pub mod ids;
 pub mod instance;
 pub mod io;
 pub mod money;
+pub mod par;
 pub mod tags;
 pub mod utility;
 
@@ -65,4 +66,4 @@ pub use ids::{AdTypeId, CustomerId, VendorId};
 pub use instance::{InstanceBuilder, InstanceStats, ProblemInstance};
 pub use money::Money;
 pub use tags::TagVector;
-pub use utility::{PearsonUtility, TableUtility, UtilityModel};
+pub use utility::{CustomerMoments, PearsonUtility, TableUtility, UtilityModel};

@@ -1,0 +1,189 @@
+//! Deterministic parallel primitives for the performance substrate.
+//!
+//! Every hot fan-out in the workspace (candidate collection, per-vendor
+//! MCKP solves, spatial bulk-builds, moment precomputation) goes through
+//! this module rather than spawning threads ad hoc. Two guarantees:
+//!
+//! 1. **Determinism** — [`par_map`] always returns results in input
+//!    order, and callers only ever merge per-chunk results in that
+//!    order, so parallel runs are *bit-identical* to sequential runs.
+//!    There is no work stealing and no unordered reduction.
+//! 2. **Gating** — threading is only used when the crate is built with
+//!    the `parallel` feature (on by default), when the machine has more
+//!    than one core, and when the current thread has not opted out via
+//!    [`with_sequential`]. In every other case the exact same closure
+//!    runs on the calling thread.
+//!
+//! The implementation is `std::thread::scope` with contiguous chunking —
+//! deliberately dependency-free so the workspace builds in offline /
+//! minimal containers. If a rayon-style pool becomes available, only
+//! this module needs to change.
+
+use std::cell::Cell;
+
+thread_local! {
+    static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Restores the previous override even if the closure panics.
+struct SeqGuard(bool);
+
+impl Drop for SeqGuard {
+    fn drop(&mut self) {
+        FORCE_SEQUENTIAL.with(|c| c.set(self.0));
+    }
+}
+
+/// Run `f` with all [`par_map`]/[`join`] calls *made from this thread*
+/// forced onto the calling thread (tests and benches use this to compare
+/// the parallel and sequential paths without rebuilding).
+pub fn with_sequential<R>(f: impl FnOnce() -> R) -> R {
+    let prev = FORCE_SEQUENTIAL.with(|c| c.replace(true));
+    let _guard = SeqGuard(prev);
+    f()
+}
+
+/// `true` iff the current thread is inside [`with_sequential`].
+pub fn sequential_forced() -> bool {
+    FORCE_SEQUENTIAL.with(Cell::get)
+}
+
+/// The number of worker threads fan-outs may use right now: the
+/// machine's available parallelism, or 1 when the `parallel` feature is
+/// off or the current thread is inside [`with_sequential`].
+pub fn max_threads() -> usize {
+    if sequential_forced() {
+        return 1;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Map `f` over `items`, in parallel when worthwhile, returning results
+/// **in input order**. `f` receives `(index, &item)`.
+///
+/// `min_chunk` is the smallest number of items worth sending to a
+/// thread; inputs at or below it run inline. Chunks are contiguous
+/// slices of the input and results are concatenated in chunk order, so
+/// the output is identical to the sequential map for any thread count.
+pub fn par_map<T, R, F>(items: &[T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let len = items.len();
+    let min_chunk = min_chunk.max(1);
+    let threads = max_threads();
+    if threads <= 1 || len <= min_chunk {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunks = threads.min(len.div_ceil(min_chunk));
+    let mut per_chunk: Vec<Vec<R>> = Vec::with_capacity(chunks);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..chunks)
+            .map(|c| {
+                let lo = c * len / chunks;
+                let hi = (c + 1) * len / chunks;
+                scope.spawn(move || {
+                    items[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(lo + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            per_chunk.push(h.join().expect("par_map worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Run two independent closures, concurrently when threading is
+/// enabled, and return both results. Order of side effects between the
+/// two is unspecified; results are deterministic as long as the
+/// closures are.
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if max_threads() <= 1 {
+        let a = fa();
+        let b = fb();
+        return (a, b);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(fb);
+        let a = fa();
+        let b = hb.join().expect("join worker panicked");
+        (a, b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = par_map(&items, 16, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        let expect: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_exactly() {
+        let items: Vec<f64> = (0..5_000).map(|i| i as f64 * 0.1).collect();
+        let par = par_map(&items, 8, |_, &x| x.sin() * x.cos());
+        let seq = with_sequential(|| par_map(&items, 8, |_, &x| x.sin() * x.cos()));
+        // Bit-identical, not just approximately equal.
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 1, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 1, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn with_sequential_restores_flag() {
+        assert!(!sequential_forced());
+        with_sequential(|| assert!(sequential_forced()));
+        assert!(!sequential_forced());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+        let (a, b) = with_sequential(|| join(|| 3, || 4));
+        assert_eq!((a, b), (3, 4));
+    }
+}

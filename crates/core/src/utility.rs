@@ -36,6 +36,16 @@ use std::collections::HashMap;
 
 /// The utility and distance model plugged into every MUAA algorithm.
 pub trait UtilityModel: Send + Sync {
+    /// Downcast to the paper's [`PearsonUtility`] when this model is
+    /// one. The solver layer uses this to build its pair-base cache
+    /// (per-customer activity weights and weighted moments precomputed
+    /// once, then a single fused pass per pair). Non-geometric models —
+    /// [`TableUtility`] in particular — return `None` and are always
+    /// evaluated directly.
+    fn as_pearson(&self) -> Option<&PearsonUtility> {
+        None
+    }
+
     /// Distance `d(u_i, v_j, φ)` used both as the Eq. (4) divisor and
     /// for the range constraint `d ≤ r_j`.
     fn distance(&self, cid: CustomerId, customer: &Customer, vid: VendorId, vendor: &Vendor)
@@ -150,9 +160,131 @@ impl PearsonUtility {
         }
         cxy / denom
     }
+
+    /// The distance floor in use.
+    #[inline]
+    pub fn min_distance(&self) -> f64 {
+        self.min_distance
+    }
+
+    /// Precompute the per-customer half of the Eq. (5) similarity: the
+    /// activity weights at the customer's arrival time plus the weighted
+    /// moments of the interest vector. With these in hand,
+    /// [`similarity_with_moments`](Self::similarity_with_moments)
+    /// evaluates any (customer, vendor) pair in a single fused pass with
+    /// no allocation — and bit-identically to
+    /// [`UtilityModel::similarity`] on this model.
+    pub fn customer_moments(&self, customer: &Customer) -> CustomerMoments {
+        let tags = customer.interests.len();
+        debug_assert_eq!(tags, self.activity.tags());
+        let mut weights = vec![0.0; tags];
+        self.activity.levels_at_slice(customer.arrival, &mut weights);
+        let xs = customer.interests.as_slice();
+        let (mut sw, mut swx, mut swxx) = (0.0, 0.0, 0.0);
+        for t in 0..tags {
+            let w = weights[t];
+            let x = xs[t];
+            sw += w;
+            swx += w * x;
+            swxx += w * x * x;
+        }
+        CustomerMoments {
+            weights,
+            sw,
+            swx,
+            swxx,
+        }
+    }
+
+    /// Eq. (5) similarity of `(customer, vendor)` from precomputed
+    /// [`CustomerMoments`], clamped to `[0, 1]`. One pass over the tag
+    /// vectors, no allocation; bit-identical to
+    /// [`UtilityModel::similarity`] because both accumulate the same
+    /// raw moments in the same order.
+    pub fn similarity_with_moments(
+        &self,
+        moments: &CustomerMoments,
+        customer: &Customer,
+        vendor: &Vendor,
+    ) -> f64 {
+        let xs = customer.interests.as_slice();
+        let ys = vendor.tags.as_slice();
+        debug_assert_eq!(xs.len(), moments.weights.len());
+        debug_assert_eq!(ys.len(), moments.weights.len());
+        let (mut swy, mut swyy, mut swxy) = (0.0, 0.0, 0.0);
+        for t in 0..ys.len() {
+            let w = moments.weights[t];
+            let y = ys[t];
+            swy += w * y;
+            swyy += w * y * y;
+            swxy += w * xs[t] * y;
+        }
+        pearson_from_moments(
+            moments.sw,
+            moments.swx,
+            moments.swxx,
+            swy,
+            swyy,
+            swxy,
+        )
+        .clamp(0.0, 1.0)
+    }
+}
+
+/// Precomputed per-customer state for the fused-pass Eq. (5)
+/// similarity: activity weights `α_x(φ_i)` at the customer's arrival
+/// time, their sum, and the weighted first/second moments of the
+/// customer's interest vector. Built once per customer by
+/// [`PearsonUtility::customer_moments`]; the solver layer caches one of
+/// these per customer so each (customer, vendor) similarity is a single
+/// pass over the vendor tags.
+#[derive(Clone, Debug)]
+pub struct CustomerMoments {
+    /// `α_x(φ_i)` per tag `x`.
+    weights: Vec<f64>,
+    /// `Σ_x w_x`.
+    sw: f64,
+    /// `Σ_x w_x · ψ_i[x]`.
+    swx: f64,
+    /// `Σ_x w_x · ψ_i[x]²`.
+    swxx: f64,
+}
+
+impl CustomerMoments {
+    /// The activity weights at the customer's arrival time.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// Weighted Pearson correlation from raw moments: with
+/// `m_x = swx/sw`, `m_y = swy/sw`, the centered sums are
+/// `cov = swxy − sw·m_x·m_y` and `var = sw·(second moment − mean²)`.
+/// The raw-moment form lets the whole similarity be computed in one
+/// fused pass; tags and weights live in `[0, 1]`, so the subtraction is
+/// well-conditioned (variances are clamped at 0 against rounding).
+#[inline]
+fn pearson_from_moments(sw: f64, swx: f64, swxx: f64, swy: f64, swyy: f64, swxy: f64) -> f64 {
+    if sw <= 0.0 {
+        return 0.0;
+    }
+    let mx = swx / sw;
+    let my = swy / sw;
+    let cxy = swxy - sw * mx * my;
+    let cxx = (swxx - sw * mx * mx).max(0.0);
+    let cyy = (swyy - sw * my * my).max(0.0);
+    let denom = (cxx * cyy).sqrt();
+    if denom <= f64::EPSILON {
+        return 0.0;
+    }
+    cxy / denom
 }
 
 impl UtilityModel for PearsonUtility {
+    fn as_pearson(&self) -> Option<&PearsonUtility> {
+        Some(self)
+    }
+
     fn distance(
         &self,
         _cid: CustomerId,
@@ -175,14 +307,27 @@ impl UtilityModel for PearsonUtility {
         let tags = customer.interests.len();
         debug_assert_eq!(tags, vendor.tags.len());
         debug_assert_eq!(tags, self.activity.tags());
-        let mut weights = Vec::with_capacity(tags);
-        self.activity.levels_at(customer.arrival, &mut weights);
-        let s = Self::weighted_pearson(
-            customer.interests.as_slice(),
-            vendor.tags.as_slice(),
-            &weights,
-        );
-        s.clamp(0.0, 1.0)
+        // Single fused pass over the tags, no scratch allocation. Each
+        // of the six raw moments is accumulated in the same per-tag
+        // order as the customer_moments / similarity_with_moments
+        // split, so the cached path is bit-identical to this one.
+        let xs = customer.interests.as_slice();
+        let ys = vendor.tags.as_slice();
+        let at = customer.arrival;
+        let (mut sw, mut swx, mut swxx) = (0.0, 0.0, 0.0);
+        let (mut swy, mut swyy, mut swxy) = (0.0, 0.0, 0.0);
+        for t in 0..tags {
+            let w = self.activity.level(t, at);
+            let x = xs[t];
+            let y = ys[t];
+            sw += w;
+            swx += w * x;
+            swxx += w * x * x;
+            swy += w * y;
+            swyy += w * y * y;
+            swxy += w * x * y;
+        }
+        pearson_from_moments(sw, swx, swxx, swy, swyy, swxy).clamp(0.0, 1.0)
     }
 }
 
@@ -351,6 +496,63 @@ mod tests {
         let lam = model.utility(CustomerId::new(0), &c, VendorId::new(0), &v, &ad);
         assert!(lam.is_finite());
         assert!((lam - 0.1 / DEFAULT_MIN_DISTANCE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_similarity_matches_weighted_pearson() {
+        let curves: Vec<Vec<f64>> = (0..6)
+            .map(|t| (0..24).map(|h| ((h + t) % 24) as f64 / 23.0).collect())
+            .collect();
+        let model = PearsonUtility::new(ActivityProfile::from_hourly(&curves).unwrap());
+        for (i, at) in [0.0, 6.25, 13.37, 23.75].into_iter().enumerate() {
+            let xs: Vec<f64> = (0..6).map(|t| ((t * 7 + i) % 5) as f64 / 4.0).collect();
+            let ys: Vec<f64> = (0..6).map(|t| ((t * 3 + i) % 4) as f64 / 3.0).collect();
+            let c = customer_with(xs.clone(), 0.5, Timestamp::from_hours(at));
+            let v = vendor_with(ys.clone(), Point::new(1.0, 1.0));
+            let mut weights = Vec::new();
+            model.activity().levels_at(c.arrival, &mut weights);
+            let expect =
+                PearsonUtility::weighted_pearson(&xs, &ys, &weights).clamp(0.0, 1.0);
+            let got = model.similarity(CustomerId::new(0), &c, VendorId::new(0), &v);
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "fused similarity drifted: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn similarity_with_moments_is_bit_identical_to_similarity() {
+        let curves: Vec<Vec<f64>> = (0..8)
+            .map(|t| {
+                (0..24)
+                    .map(|h| (((h * (t + 2)) % 24) as f64 / 23.0).min(1.0))
+                    .collect()
+            })
+            .collect();
+        let model = PearsonUtility::new(ActivityProfile::from_hourly(&curves).unwrap());
+        for seed in 0..16u64 {
+            let xs: Vec<f64> = (0..8).map(|t| ((seed + t * 5) % 7) as f64 / 6.0).collect();
+            let ys: Vec<f64> = (0..8).map(|t| ((seed * 3 + t) % 6) as f64 / 5.0).collect();
+            let at = Timestamp::from_hours((seed as f64 * 1.7) % 24.0);
+            let c = customer_with(xs, 0.5, at);
+            let v = vendor_with(ys, Point::new(2.0, 3.0));
+            let direct = model.similarity(CustomerId::new(0), &c, VendorId::new(0), &v);
+            let moments = model.customer_moments(&c);
+            let cached = model.similarity_with_moments(&moments, &c, &v);
+            assert_eq!(
+                direct.to_bits(),
+                cached.to_bits(),
+                "moments path not bit-identical: {direct} vs {cached}"
+            );
+        }
+    }
+
+    #[test]
+    fn as_pearson_downcast() {
+        let pearson = PearsonUtility::uniform(2);
+        assert!(UtilityModel::as_pearson(&pearson).is_some());
+        assert!(TableUtility::new().as_pearson().is_none());
     }
 
     #[test]

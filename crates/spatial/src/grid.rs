@@ -53,9 +53,15 @@ impl GridIndex {
         let cols = ((width / cell).ceil() as usize).max(1);
         let rows = ((height / cell).ceil() as usize).max(1);
         let mut buckets = vec![Vec::new(); cols * rows];
-        for (i, p) in points.iter().enumerate() {
+        // Cell assignment is embarrassingly parallel; the bucket fill
+        // stays sequential in point order so every bucket's contents are
+        // identical to a fully sequential build.
+        let cell_ids = muaa_core::par::par_map(&points, 4096, |_, p| {
             let (cx, cy) = cell_of(p, min_x, min_y, cell, cols, rows);
-            buckets[cy * cols + cx].push(i as u32);
+            cy * cols + cx
+        });
+        for (i, &c) in cell_ids.iter().enumerate() {
+            buckets[c].push(i as u32);
         }
         GridIndex {
             points,

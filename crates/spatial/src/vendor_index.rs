@@ -59,22 +59,23 @@ impl VendorIndex {
             partitions.push((max_radius, members));
         }
 
-        let classes = partitions
-            .into_iter()
-            .map(|(max_radius, members)| {
-                let points: Vec<Point> = members.iter().map(|&j| vendors[j].location).collect();
-                let radii: Vec<f64> = members.iter().map(|&j| vendors[j].radius).collect();
-                let ids: Vec<VendorId> = members.iter().map(|&j| VendorId::from(j)).collect();
-                // Use the class radius as the cell-size hint.
-                let grid = GridIndex::new(points, max_radius);
-                RadiusClass {
-                    grid,
-                    max_radius,
-                    radii,
-                    ids,
-                }
-            })
-            .collect();
+        // Each radius class builds its own grid independently; classes
+        // come out of the map in partition order, so the index layout is
+        // identical to a sequential build.
+        let classes = muaa_core::par::par_map(&partitions, 1, |_, (max_radius, members)| {
+            let max_radius = *max_radius;
+            let points: Vec<Point> = members.iter().map(|&j| vendors[j].location).collect();
+            let radii: Vec<f64> = members.iter().map(|&j| vendors[j].radius).collect();
+            let ids: Vec<VendorId> = members.iter().map(|&j| VendorId::from(j)).collect();
+            // Use the class radius as the cell-size hint.
+            let grid = GridIndex::new(points, max_radius);
+            RadiusClass {
+                grid,
+                max_radius,
+                radii,
+                ids,
+            }
+        });
         VendorIndex {
             classes,
             len: vendors.len(),
