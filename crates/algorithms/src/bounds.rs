@@ -45,12 +45,12 @@ pub fn upper_bounds(ctx: &SolverContext<'_>) -> UpperBounds {
     // --- Vendor relaxation: per-vendor LP bounds. ---
     let mut vendor_bound = 0.0;
     for (vid, vendor) in inst.vendors_enumerated() {
-        let valid = ctx.valid_customers(vid);
+        let valid = ctx.eligible_customers(vid);
         if valid.is_empty() {
             continue;
         }
         let mut problem = MckpProblem::new(vendor.budget.as_cents());
-        for &cid in &valid {
+        for &cid in valid {
             let base = ctx.pair_base(cid, vid);
             if base <= 0.0 {
                 continue;
@@ -77,7 +77,7 @@ pub fn upper_bounds(ctx: &SolverContext<'_>) -> UpperBounds {
     let mut utilities: Vec<f64> = Vec::new();
     for (cid, customer) in inst.customers_enumerated() {
         utilities.clear();
-        for vid in ctx.valid_vendors(cid) {
+        for &vid in ctx.eligible_vendors(cid) {
             let base = ctx.pair_base(cid, vid);
             if base > 0.0 {
                 utilities.push(base * beta_max);

@@ -1,18 +1,28 @@
 //! [`SolverContext`]: the shared read-only state every solver runs
-//! against — instance, utility model and spatial indexes.
+//! against — instance, utility model, spatial indexes, and the
+//! zero-allocation candidate substrate (DESIGN.md §11): a CSR
+//! eligibility index answering "which customers can vendor j reach" /
+//! "which vendors cover customer i" as borrowed slices, plus flat
+//! structure-of-arrays Pearson moments feeding the batched pair-base
+//! kernel [`SolverContext::pair_base_block`].
 
 use muaa_core::{
-    par, AdType, AdTypeId, Customer, CustomerId, CustomerMoments, Money, PearsonUtility,
-    ProblemInstance, UtilityModel, Vendor, VendorId,
+    par, AdType, AdTypeId, Customer, CustomerId, Money, PearsonUtility, ProblemInstance,
+    UtilityModel, Vendor, VendorId,
 };
 use muaa_spatial::{GridIndex, VendorIndex};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Largest (customers × vendors) product for which the dense pair-base
-/// memo table is allocated: 2²³ entries = 64 MiB of `AtomicU64`. Above
-/// this, pairs are still evaluated through the fused-moment fast path,
-/// just not memoized.
+/// memo table is allocated under the **default** cap: 2²³ entries =
+/// 64 MiB of `AtomicU64`. Above this, pairs are still evaluated through
+/// the fused-moment fast path, just not memoized. Override per context
+/// with [`SolverContext::with_pair_cache_cap`].
 const MEMO_MAX_PAIRS: usize = 1 << 23;
+
+/// Default pair-cache cap in bytes (64 MiB), the value
+/// [`SolverContext::with_pair_cache_cap`] starts from.
+pub const DEFAULT_PAIR_CACHE_CAP: usize = MEMO_MAX_PAIRS * std::mem::size_of::<AtomicU64>();
 
 /// Sentinel marking an unfilled memo slot. This is a NaN bit pattern;
 /// [`SolverContext::pair_base`] never returns NaN (non-finite distances
@@ -23,14 +33,28 @@ const MEMO_EMPTY: u64 = u64::MAX;
 /// Precomputed per-customer Pearson moments plus a lazily filled dense
 /// memo of pair-base values, keyed `(customer, vendor)`.
 ///
+/// Moments are stored as flat structure-of-arrays (DESIGN.md §11):
+/// `weights` holds the customers × tags activity-weight matrix
+/// row-major, `sw`/`swx`/`swxx` one scalar per customer. The batched
+/// kernel walks customer rows of these arrays directly — no per-pair
+/// struct lookup, no allocation.
+///
 /// The memo is a table of `f64` bit patterns behind relaxed atomics:
 /// every thread that fills a slot computes the *same* deterministic
 /// value, so racing writers are benign and reads need no ordering.
 struct PairCache {
-    /// One [`CustomerMoments`] per customer, in id order.
-    moments: Vec<CustomerMoments>,
+    /// Tag-universe size (row stride of `weights`).
+    tags: usize,
+    /// Activity weights `α_x(φ_i)`, customers × tags, row-major.
+    weights: Vec<f64>,
+    /// `Σ_x w_x` per customer.
+    sw: Vec<f64>,
+    /// `Σ_x w_x · ψ_i[x]` per customer.
+    swx: Vec<f64>,
+    /// `Σ_x w_x · ψ_i[x]²` per customer.
+    swxx: Vec<f64>,
     /// `memo[cid.index() * vendors + vid.index()]`, or `None` when the
-    /// instance exceeds [`MEMO_MAX_PAIRS`] (or has no pairs).
+    /// instance exceeds the cache cap (or has no pairs).
     memo: Option<Vec<AtomicU64>>,
     /// Row stride of `memo`.
     vendors: usize,
@@ -38,16 +62,70 @@ struct PairCache {
 
 impl PairCache {
     fn build(instance: &ProblemInstance, pearson: &PearsonUtility) -> Self {
-        let moments = par::par_map(instance.customers(), 64, |_, c| pearson.customer_moments(c));
+        let per_customer =
+            par::par_map(instance.customers(), 64, |_, c| pearson.customer_moments(c));
+        let tags = pearson.activity().tags();
+        let n = per_customer.len();
+        let mut weights = Vec::with_capacity(n * tags);
+        let mut sw = Vec::with_capacity(n);
+        let mut swx = Vec::with_capacity(n);
+        let mut swxx = Vec::with_capacity(n);
+        for m in &per_customer {
+            weights.extend_from_slice(m.weights());
+            sw.push(m.sw());
+            swx.push(m.swx());
+            swxx.push(m.swxx());
+        }
         let vendors = instance.vendors().len();
         let pairs = instance.customers().len().saturating_mul(vendors);
-        let memo = (0 < pairs && pairs <= MEMO_MAX_PAIRS)
-            .then(|| (0..pairs).map(|_| AtomicU64::new(MEMO_EMPTY)).collect());
         PairCache {
-            moments,
-            memo,
+            tags,
+            weights,
+            sw,
+            swx,
+            swxx,
+            memo: Self::alloc_memo(pairs, MEMO_MAX_PAIRS),
             vendors,
         }
+    }
+
+    fn alloc_memo(pairs: usize, max_pairs: usize) -> Option<Vec<AtomicU64>> {
+        (0 < pairs && pairs <= max_pairs)
+            .then(|| (0..pairs).map(|_| AtomicU64::new(MEMO_EMPTY)).collect())
+    }
+}
+
+/// Bidirectional vendor ↔ customer eligibility adjacency in CSR form
+/// (DESIGN.md §11): `ids[offsets[k] .. offsets[k+1]]` is entity `k`'s
+/// eligible-partner list. Built once at context construction — spatial
+/// pre-filter plus exact `pair_valid` check per pair — so solver inner
+/// loops borrow slices instead of re-running grid queries into fresh
+/// `Vec`s. Offsets are `u32`: the flattened pair count is asserted to
+/// fit (4 G pairs ≈ 32 GiB of ids — beyond any in-memory instance).
+struct EligibilityIndex {
+    /// Vendor → customers: `v2c_ids[v2c_off[j]..v2c_off[j+1]]`.
+    v2c_off: Vec<u32>,
+    v2c_ids: Vec<CustomerId>,
+    /// Customer → vendors: `c2v_ids[c2v_off[i]..c2v_off[i+1]]`.
+    c2v_off: Vec<u32>,
+    c2v_ids: Vec<VendorId>,
+}
+
+impl EligibilityIndex {
+    fn flatten<T: Copy>(lists: Vec<Vec<T>>) -> (Vec<u32>, Vec<T>) {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "eligibility index exceeds u32 offset range"
+        );
+        let mut off = Vec::with_capacity(lists.len() + 1);
+        let mut ids = Vec::with_capacity(total);
+        off.push(0u32);
+        for list in &lists {
+            ids.extend_from_slice(list);
+            off.push(ids.len() as u32);
+        }
+        (off, ids)
     }
 }
 
@@ -65,6 +143,11 @@ impl PairCache {
 /// * [`SolverContext::brute_force`] — no indexes; validity scans all
 ///   entities. Required for [`TableUtility`](muaa_core::TableUtility)
 ///   and other non-geometric distance models; fine for small instances.
+///
+/// Both modes materialize the [`EligibilityIndex`] eagerly, so
+/// [`eligible_customers`](Self::eligible_customers) /
+/// [`eligible_vendors`](Self::eligible_vendors) are O(1) slice borrows
+/// in every solver inner loop.
 pub struct SolverContext<'a> {
     instance: &'a ProblemInstance,
     model: &'a dyn UtilityModel,
@@ -74,6 +157,7 @@ pub struct SolverContext<'a> {
     /// fused-moment pair-base fast path.
     pearson: Option<&'a PearsonUtility>,
     cache: Option<PairCache>,
+    eligibility: EligibilityIndex,
 }
 
 impl<'a> SolverContext<'a> {
@@ -81,7 +165,7 @@ impl<'a> SolverContext<'a> {
     /// the type docs). For Pearson models this also precomputes the
     /// per-customer similarity moments and allocates the pair-base memo
     /// (see DESIGN.md §10); the spatial indexes and the cache are built
-    /// concurrently.
+    /// concurrently, then the eligibility CSR is filled from the grids.
     pub fn indexed(instance: &'a ProblemInstance, model: &'a dyn UtilityModel) -> Self {
         let pearson = model.as_pearson();
         let (indexes, cache) = par::join(
@@ -94,14 +178,22 @@ impl<'a> SolverContext<'a> {
             },
             || pearson.map(|p| PairCache::build(instance, p)),
         );
-        SolverContext {
+        let mut ctx = SolverContext {
             instance,
             model,
             customer_grid: Some(indexes.0),
             vendor_index: Some(indexes.1),
             pearson,
             cache,
-        }
+            eligibility: EligibilityIndex {
+                v2c_off: Vec::new(),
+                v2c_ids: Vec::new(),
+                c2v_off: Vec::new(),
+                c2v_ids: Vec::new(),
+            },
+        };
+        ctx.eligibility = ctx.build_eligibility();
+        ctx
     }
 
     /// Build a context without spatial indexes (any distance model).
@@ -110,13 +202,49 @@ impl<'a> SolverContext<'a> {
     /// [`TableUtility`](muaa_core::TableUtility)) bypass it entirely.
     pub fn brute_force(instance: &'a ProblemInstance, model: &'a dyn UtilityModel) -> Self {
         let pearson = model.as_pearson();
-        SolverContext {
+        let mut ctx = SolverContext {
             instance,
             model,
             customer_grid: None,
             vendor_index: None,
             pearson,
             cache: pearson.map(|p| PairCache::build(instance, p)),
+            eligibility: EligibilityIndex {
+                v2c_off: Vec::new(),
+                v2c_ids: Vec::new(),
+                c2v_off: Vec::new(),
+                c2v_ids: Vec::new(),
+            },
+        };
+        ctx.eligibility = ctx.build_eligibility();
+        ctx
+    }
+
+    /// Run the per-entity validity scans once, in parallel, and flatten
+    /// into the CSR [`EligibilityIndex`]. Lists keep exactly the order
+    /// the per-call scans produced (grid slot order when indexed, id
+    /// order when brute-force), so slice consumers see byte-identical
+    /// candidate sequences to the old query-per-call path.
+    fn build_eligibility(&self) -> EligibilityIndex {
+        let (per_vendor, per_customer) = par::join(
+            || {
+                par::par_map(self.instance.vendors(), 4, |j, _| {
+                    self.valid_customers_scan(VendorId::from(j))
+                })
+            },
+            || {
+                par::par_map(self.instance.customers(), 64, |i, _| {
+                    self.valid_vendors_scan(CustomerId::from(i))
+                })
+            },
+        );
+        let (v2c_off, v2c_ids) = EligibilityIndex::flatten(per_vendor);
+        let (c2v_off, c2v_ids) = EligibilityIndex::flatten(per_customer);
+        EligibilityIndex {
+            v2c_off,
+            v2c_ids,
+            c2v_off,
+            c2v_ids,
         }
     }
 
@@ -126,6 +254,27 @@ impl<'a> SolverContext<'a> {
     pub fn without_pair_cache(mut self) -> Self {
         self.cache = None;
         self.pearson = None;
+        self
+    }
+
+    /// Re-size the pair-base memo cap to `bytes` (default
+    /// [`DEFAULT_PAIR_CACHE_CAP`] = 64 MiB). The memo is allocated iff
+    /// the instance's full (customers × vendors) table fits: each entry
+    /// is one 8-byte atomic. `0` disables memoization entirely — pairs
+    /// still go through the fused-moment fast path, so values are
+    /// unchanged, just recomputed per call. Any already-memoized values
+    /// are discarded (the memo restarts cold). No-op for non-Pearson
+    /// models, which have no cache.
+    pub fn with_pair_cache_cap(mut self, bytes: usize) -> Self {
+        if let Some(cache) = &mut self.cache {
+            let pairs = self
+                .instance
+                .customers()
+                .len()
+                .saturating_mul(cache.vendors);
+            let max_pairs = bytes / std::mem::size_of::<AtomicU64>();
+            cache.memo = PairCache::alloc_memo(pairs, max_pairs);
+        }
         self
     }
 
@@ -154,8 +303,42 @@ impl<'a> SolverContext<'a> {
         self.model.distance(cid, c, vid, v) <= v.radius
     }
 
-    /// The valid customers `U_j` of a vendor (paper Alg. 1 line 3).
+    /// The valid customers `U_j` of a vendor (paper Alg. 1 line 3), as
+    /// a borrowed slice of the precomputed eligibility CSR. The hot
+    /// accessor: no allocation, no spatial query.
+    #[inline]
+    pub fn eligible_customers(&self, vid: VendorId) -> &[CustomerId] {
+        let e = &self.eligibility;
+        let j = vid.index();
+        &e.v2c_ids[e.v2c_off[j] as usize..e.v2c_off[j + 1] as usize]
+    }
+
+    /// The valid vendors `V'` of a customer (paper Alg. 2 line 2), as a
+    /// borrowed slice of the precomputed eligibility CSR.
+    #[inline]
+    pub fn eligible_vendors(&self, cid: CustomerId) -> &[VendorId] {
+        let e = &self.eligibility;
+        let i = cid.index();
+        &e.c2v_ids[e.c2v_off[i] as usize..e.c2v_off[i + 1] as usize]
+    }
+
+    /// Owned copy of [`eligible_customers`](Self::eligible_customers),
+    /// for callers that mutate the list. Prefer the slice accessor.
     pub fn valid_customers(&self, vid: VendorId) -> Vec<CustomerId> {
+        self.eligible_customers(vid).to_vec()
+    }
+
+    /// Owned copy of [`eligible_vendors`](Self::eligible_vendors), for
+    /// callers that mutate the list (e.g. NEAREST's distance sort).
+    /// Prefer the slice accessor.
+    pub fn valid_vendors(&self, cid: CustomerId) -> Vec<VendorId> {
+        self.eligible_vendors(cid).to_vec()
+    }
+
+    /// Compute a vendor's valid-customer list from scratch (spatial
+    /// pre-filter + exact check). Used once per vendor to build the
+    /// eligibility CSR; solvers read [`eligible_customers`] instead.
+    fn valid_customers_scan(&self, vid: VendorId) -> Vec<CustomerId> {
         let v = self.instance.vendor(vid);
         match &self.customer_grid {
             Some(grid) => {
@@ -175,8 +358,10 @@ impl<'a> SolverContext<'a> {
         }
     }
 
-    /// The valid vendors `V'` of a customer (paper Alg. 2 line 2).
-    pub fn valid_vendors(&self, cid: CustomerId) -> Vec<VendorId> {
+    /// Compute a customer's valid-vendor list from scratch. Used once
+    /// per customer to build the eligibility CSR; solvers read
+    /// [`eligible_vendors`] instead.
+    fn valid_vendors_scan(&self, cid: CustomerId) -> Vec<VendorId> {
         let c = self.instance.customer(cid);
         match &self.vendor_index {
             Some(index) => {
@@ -237,10 +422,50 @@ impl<'a> SolverContext<'a> {
         }
     }
 
-    /// Fused-moment pair base: distance and similarity in one pass, no
-    /// allocation, no virtual dispatch. Arithmetic is bit-identical to
+    /// Batched pair-base kernel: evaluate one vendor against a whole
+    /// customer slice (typically its [`eligible_customers`] list) into
+    /// `out` (cleared first; `out[k]` corresponds to `cids[k]`).
+    ///
+    /// This is the DESIGN.md §11 block kernel: the vendor row is
+    /// hoisted out of the loop, each customer's moments are read
+    /// straight from the flat SoA arrays, and memo slots are filled as
+    /// a side effect. Every value is bit-identical to
+    /// [`pair_base`](Self::pair_base) — the memo path performs the same
+    /// load/fill per slot, and misses share `pair_base`'s arithmetic.
+    /// Callers reuse `out` across vendors for zero steady-state
+    /// allocation.
+    pub fn pair_base_block(&self, vid: VendorId, cids: &[CustomerId], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(cids.len());
+        let Some(cache) = &self.cache else {
+            out.extend(cids.iter().map(|&cid| self.pair_base_uncached(cid, vid)));
+            return;
+        };
+        match &cache.memo {
+            Some(memo) => {
+                let col = vid.index();
+                for &cid in cids {
+                    let slot = &memo[cid.index() * cache.vendors + col];
+                    let bits = slot.load(Ordering::Relaxed);
+                    let base = if bits != MEMO_EMPTY {
+                        f64::from_bits(bits)
+                    } else {
+                        let b = self.pair_base_fused(cache, cid, vid);
+                        slot.store(b.to_bits(), Ordering::Relaxed);
+                        b
+                    };
+                    out.push(base);
+                }
+            }
+            None => out.extend(cids.iter().map(|&cid| self.pair_base_fused(cache, cid, vid))),
+        }
+    }
+
+    /// Fused-moment pair base: distance and similarity in one pass over
+    /// the flat SoA moment arrays, no allocation, no virtual dispatch.
+    /// Arithmetic is bit-identical to
     /// [`pair_base_uncached`](Self::pair_base_uncached) on a Pearson
-    /// model (see `similarity_with_moments`).
+    /// model (see `PearsonUtility::similarity_from_parts`).
     fn pair_base_fused(&self, cache: &PairCache, cid: CustomerId, vid: VendorId) -> f64 {
         let pearson = self
             .pearson
@@ -253,7 +478,16 @@ impl<'a> SolverContext<'a> {
         if d <= 0.0 || d.is_nan() || d.is_infinite() {
             return 0.0;
         }
-        let s = pearson.similarity_with_moments(&cache.moments[cid.index()], c, v);
+        let i = cid.index();
+        let row = &cache.weights[i * cache.tags..(i + 1) * cache.tags];
+        let s = PearsonUtility::similarity_from_parts(
+            row,
+            c.interests.as_slice(),
+            cache.sw[i],
+            cache.swx[i],
+            cache.swxx[i],
+            v.tags.as_slice(),
+        );
         c.view_probability * s / d
     }
 
@@ -423,6 +657,35 @@ mod tests {
             .unwrap()
     }
 
+    /// A medium synthetic instance for the CSR / block-kernel tests:
+    /// deterministic coordinates, varied radii, several tags.
+    fn synthetic_instance(customers: usize, vendors: usize) -> ProblemInstance {
+        let tags = 4;
+        let frac = |k: usize, m: f64| (k as f64 * m) % 1.0;
+        InstanceBuilder::new()
+            .ad_types([
+                AdType::new("TL", Money::from_dollars(1.0), 0.1),
+                AdType::new("PL", Money::from_dollars(2.0), 0.4),
+            ])
+            .customers((0..customers).map(|i| Customer {
+                location: Point::new(frac(i, 0.618_033_988), frac(i, 0.754_877_666)),
+                capacity: 1 + (i % 3) as u32,
+                view_probability: 0.1 + 0.8 * frac(i, 0.3),
+                interests: TagVector::new((0..tags).map(|t| frac(i + t, 0.41)).collect())
+                    .unwrap(),
+                arrival: Timestamp::from_hours(frac(i, 0.07) * 24.0),
+            }))
+            .vendors((0..vendors).map(|j| Vendor {
+                location: Point::new(frac(j, 0.234_567), frac(j, 0.876_543)),
+                radius: 0.02 + 0.2 * frac(j, 0.13),
+                budget: Money::from_dollars(2.0 + 5.0 * frac(j, 0.29)),
+                tags: TagVector::new((0..tags).map(|t| frac(j + 2 * t, 0.57)).collect())
+                    .unwrap(),
+            }))
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn indexed_and_brute_force_agree_on_validity() {
         let inst = make_instance();
@@ -462,6 +725,97 @@ mod tests {
             ctx.valid_customers(VendorId::new(0)),
             vec![CustomerId::new(0)]
         );
+    }
+
+    /// Deterministic replica of the CSR-eligibility property (the
+    /// proptest version lives in `tests/cache_equivalence.rs`): every
+    /// slice in the precomputed index must agree with brute-force
+    /// `pair_valid` over the full bipartite graph, in both construction
+    /// modes.
+    #[test]
+    fn eligibility_csr_matches_pair_valid_scan() {
+        let inst = synthetic_instance(300, 40);
+        let model = PearsonUtility::uniform(4);
+        for ctx in [
+            SolverContext::indexed(&inst, &model),
+            SolverContext::brute_force(&inst, &model),
+        ] {
+            for (vid, _) in inst.vendors_enumerated() {
+                let mut got: Vec<CustomerId> = ctx.eligible_customers(vid).to_vec();
+                got.sort_unstable();
+                let expect: Vec<CustomerId> = inst
+                    .customers_enumerated()
+                    .map(|(cid, _)| cid)
+                    .filter(|&cid| ctx.pair_valid(cid, vid))
+                    .collect();
+                assert_eq!(got, expect, "vendor {vid}");
+            }
+            for (cid, _) in inst.customers_enumerated() {
+                let mut got: Vec<VendorId> = ctx.eligible_vendors(cid).to_vec();
+                got.sort_unstable();
+                let expect: Vec<VendorId> = inst
+                    .vendors_enumerated()
+                    .map(|(vid, _)| vid)
+                    .filter(|&vid| ctx.pair_valid(cid, vid))
+                    .collect();
+                assert_eq!(got, expect, "customer {cid}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_base_block_is_bit_identical_to_pair_base() {
+        let inst = synthetic_instance(200, 30);
+        let model = PearsonUtility::uniform(4);
+        // All three cache configurations: memoized, fused-only (cap 0),
+        // and fully uncached.
+        let memoized = SolverContext::indexed(&inst, &model);
+        let fused = SolverContext::indexed(&inst, &model).with_pair_cache_cap(0);
+        let uncached = SolverContext::indexed(&inst, &model).without_pair_cache();
+        let mut block = Vec::new();
+        for ctx in [&memoized, &fused, &uncached] {
+            for (vid, _) in inst.vendors_enumerated() {
+                let cids: Vec<CustomerId> = ctx.eligible_customers(vid).to_vec();
+                ctx.pair_base_block(vid, &cids, &mut block);
+                assert_eq!(block.len(), cids.len());
+                for (k, &cid) in cids.iter().enumerate() {
+                    assert_eq!(
+                        block[k].to_bits(),
+                        memoized.pair_base(cid, vid).to_bits(),
+                        "pair ({cid}, {vid})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_cache_cap_controls_memo_allocation() {
+        let inst = make_instance();
+        let model = PearsonUtility::uniform(2);
+        // 2×2 instance = 4 pairs = 32 bytes.
+        let with_memo = SolverContext::indexed(&inst, &model).with_pair_cache_cap(32);
+        assert!(with_memo.cache.as_ref().unwrap().memo.is_some());
+        let too_small = SolverContext::indexed(&inst, &model).with_pair_cache_cap(24);
+        assert!(too_small.cache.as_ref().unwrap().memo.is_none());
+        let disabled = SolverContext::indexed(&inst, &model).with_pair_cache_cap(0);
+        assert!(disabled.cache.as_ref().unwrap().memo.is_none());
+        // Values are unchanged in every configuration.
+        for ctx in [&with_memo, &too_small, &disabled] {
+            for (cid, _) in inst.customers_enumerated() {
+                for (vid, _) in inst.vendors_enumerated() {
+                    assert_eq!(
+                        ctx.pair_base(cid, vid).to_bits(),
+                        with_memo.pair_base(cid, vid).to_bits()
+                    );
+                }
+            }
+        }
+        // The default cap allocates the memo for any instance that fits
+        // in 64 MiB of slots.
+        assert_eq!(DEFAULT_PAIR_CACHE_CAP, 64 << 20);
+        let default_ctx = SolverContext::indexed(&inst, &model);
+        assert!(default_ctx.cache.as_ref().unwrap().memo.is_some());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod online;
 mod stats;
 
 pub use bounds::{upper_bounds, UpperBounds};
-pub use context::SolverContext;
+pub use context::{SolverContext, DEFAULT_PAIR_CACHE_CAP};
 pub use offline::batched::BatchedRecon;
 pub use offline::exact::ExactBnB;
 pub use offline::greedy::{Greedy, NaiveGreedy};

@@ -71,14 +71,10 @@ impl OfflineSolver for BatchedRecon {
             return set;
         }
         let mut rng = SmallRng::seed_from_u64(self.seed);
-
-        // Per-vendor valid-customer lists, computed once and split by
-        // window below (membership in a window is an index range since
-        // customers are stored in arrival order).
-        let valid_per_vendor: Vec<Vec<CustomerId>> = inst
-            .vendors_enumerated()
-            .map(|(vid, _)| ctx.valid_customers(vid))
-            .collect();
+        use std::cell::RefCell;
+        thread_local! {
+            static BASES: RefCell<Vec<f64>> = RefCell::new(Vec::new());
+        }
 
         let windows = self.windows.min(m);
         for w in 0..windows {
@@ -99,7 +95,10 @@ impl OfflineSolver for BatchedRecon {
                     if remaining < inst.min_ad_cost() {
                         return Vec::new();
                     }
-                    let candidates: Vec<CustomerId> = valid_per_vendor[vid.index()]
+                    // This window's candidates: the vendor's CSR
+                    // eligibility slice restricted to the window range.
+                    let candidates: Vec<CustomerId> = ctx
+                        .eligible_customers(vid)
                         .iter()
                         .copied()
                         .filter(|&cid| in_window(cid))
@@ -111,40 +110,41 @@ impl OfflineSolver for BatchedRecon {
                         return Vec::new();
                     }
                     let mut problem = MckpProblem::new(remaining.as_cents());
-                    let mut bases = Vec::with_capacity(candidates.len());
-                    for &cid in &candidates {
-                        let base = ctx.pair_base(cid, vid);
-                        bases.push(base);
-                        problem.add_class(
-                            inst.ad_types()
-                                .iter()
-                                .map(|t| {
-                                    MckpItem::new(
-                                        t.cost.as_cents(),
-                                        (base * t.effectiveness).max(0.0),
-                                    )
-                                })
-                                .collect(),
-                        );
-                    }
-                    let solution = match self.backend {
-                        MckpBackend::LpGreedy => muaa_knapsack::MckpLpGreedy.solve(&problem),
-                        MckpBackend::ExactDp => muaa_knapsack::MckpExactDp.solve(&problem),
-                        MckpBackend::Fptas(eps) => {
-                            muaa_knapsack::MckpFptas::new(eps).solve(&problem)
+                    BASES.with(|scratch| {
+                        let bases = &mut *scratch.borrow_mut();
+                        ctx.pair_base_block(vid, &candidates, bases);
+                        for &base in bases.iter() {
+                            problem.add_class(
+                                inst.ad_types()
+                                    .iter()
+                                    .map(|t| {
+                                        MckpItem::new(
+                                            t.cost.as_cents(),
+                                            (base * t.effectiveness).max(0.0),
+                                        )
+                                    })
+                                    .collect(),
+                            );
                         }
-                    };
-                    let mut out = Vec::new();
-                    for (class, item) in solution.picks() {
-                        let cid = candidates[class];
-                        let lambda =
-                            bases[class] * inst.ad_type(AdTypeId::from(item)).effectiveness;
-                        if lambda <= 0.0 {
-                            continue;
+                        let solution = match self.backend {
+                            MckpBackend::LpGreedy => muaa_knapsack::MckpLpGreedy.solve(&problem),
+                            MckpBackend::ExactDp => muaa_knapsack::MckpExactDp.solve(&problem),
+                            MckpBackend::Fptas(eps) => {
+                                muaa_knapsack::MckpFptas::new(eps).solve(&problem)
+                            }
+                        };
+                        let mut out = Vec::new();
+                        for (class, item) in solution.picks() {
+                            let cid = candidates[class];
+                            let lambda =
+                                bases[class] * inst.ad_type(AdTypeId::from(item)).effectiveness;
+                            if lambda <= 0.0 {
+                                continue;
+                            }
+                            out.push((cid, AdTypeId::from(item), lambda));
                         }
-                        out.push((cid, AdTypeId::from(item), lambda));
-                    }
-                    out
+                        out
+                    })
                 });
             let mut window_load = vec![0u32; hi - lo];
             for list in &picked {
@@ -154,6 +154,22 @@ impl OfflineSolver for BatchedRecon {
             }
 
             // ---- Phase 2 per window: reconcile window violations. ----
+            // Per-customer pick index, built once per window: each
+            // customer's picks as (vendor, λ) in vendor-ascending order.
+            // A vendor picks a customer at most once (one MCKP class per
+            // customer), so scanning a customer's entries in vendor
+            // order visits exactly the picks the old full rescan of
+            // `picked` visited, in the same order — the min-scan below
+            // therefore selects the identical worst pick (including the
+            // first-encountered tie/NaN behaviour of the strict `<`),
+            // at O(picks of cid) per removal instead of
+            // O(vendors · picks).
+            let mut picks_of: Vec<Vec<(u32, f64)>> = vec![Vec::new(); hi - lo];
+            for (j, list) in picked.iter().enumerate() {
+                for &(cid, _, lambda) in list {
+                    picks_of[cid.index() - lo].push((j as u32, lambda));
+                }
+            }
             // Effective capacity this window = capacity − prior load.
             let mut violated: Vec<CustomerId> = (lo..hi)
                 .map(CustomerId::from)
@@ -167,15 +183,20 @@ impl OfflineSolver for BatchedRecon {
                 let cap = inst.customer(cid).capacity - set.customer_load(cid);
                 while window_load[cid.index() - lo] > cap {
                     // Remove this customer's lowest-utility pick.
-                    let mut worst: Option<(VendorId, usize, f64)> = None;
-                    for (j, list) in picked.iter().enumerate() {
-                        for (pos, &(c, _, lambda)) in list.iter().enumerate() {
-                            if c == cid && worst.is_none_or(|(_, _, wl)| lambda < wl) {
-                                worst = Some((VendorId::from(j), pos, lambda));
-                            }
+                    let entries = &mut picks_of[cid.index() - lo];
+                    let mut worst: Option<(usize, f64)> = None;
+                    for (epos, &(_, lambda)) in entries.iter().enumerate() {
+                        if worst.is_none_or(|(_, wl)| lambda < wl) {
+                            worst = Some((epos, lambda));
                         }
                     }
-                    let Some((vid, pos, _)) = worst else { break };
+                    let Some((epos, _)) = worst else { break };
+                    let (j, _) = entries.remove(epos);
+                    let vid = VendorId::from(j as usize);
+                    let pos = picked[vid.index()]
+                        .iter()
+                        .position(|&(c, _, _)| c == cid)
+                        .expect("pick index out of sync with picked lists");
                     picked[vid.index()].swap_remove(pos);
                     window_load[cid.index() - lo] -= 1;
                     // (No refill here: within a buffered batch, the

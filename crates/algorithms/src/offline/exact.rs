@@ -176,7 +176,7 @@ impl OfflineSolver for ExactBnB {
         // Enumerate valid pairs with positive utility options.
         let mut pairs: Vec<Pair> = Vec::new();
         for (vid, _) in inst.vendors_enumerated() {
-            for cid in ctx.valid_customers(vid) {
+            for &cid in ctx.eligible_customers(vid) {
                 let base = ctx.pair_base(cid, vid);
                 if base <= 0.0 {
                     continue;
@@ -283,7 +283,7 @@ mod tests {
         let inst = ctx.instance();
         let mut pairs = Vec::new();
         for (vid, _) in inst.vendors_enumerated() {
-            for cid in ctx.valid_customers(vid) {
+            for &cid in ctx.eligible_customers(vid) {
                 if ctx.pair_base(cid, vid) > 0.0 {
                     pairs.push((cid, vid));
                 }

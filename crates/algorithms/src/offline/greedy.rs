@@ -28,30 +28,44 @@ struct Candidate {
 /// utility. Vendors are scanned in parallel; per-vendor candidate lists
 /// are concatenated in vendor-id order, so the output is identical to
 /// the sequential scan.
+///
+/// Zero-allocation inner loop (DESIGN.md §11): each vendor's eligible
+/// customers come from the precomputed CSR slice and their pair bases
+/// from one [`SolverContext::pair_base_block`] call into a thread-local
+/// scratch buffer reused across vendors.
 fn collect_candidates(ctx: &SolverContext<'_>) -> Vec<Candidate> {
+    use std::cell::RefCell;
+    thread_local! {
+        static BASES: RefCell<Vec<f64>> = RefCell::new(Vec::new());
+    }
     let inst = ctx.instance();
     let per_vendor = muaa_core::par::par_map(inst.vendors(), 1, |j, _| {
         let vid = VendorId::from(j);
-        let mut out = Vec::new();
-        for cid in ctx.valid_customers(vid) {
-            let base = ctx.pair_base(cid, vid);
-            if base <= 0.0 {
-                continue;
-            }
-            for (tid, t) in inst.ad_types_enumerated() {
-                let lambda = base * t.effectiveness;
-                if lambda <= 0.0 {
+        let cids = ctx.eligible_customers(vid);
+        BASES.with(|scratch| {
+            let mut bases = scratch.borrow_mut();
+            ctx.pair_base_block(vid, cids, &mut bases);
+            let mut out = Vec::new();
+            for (k, &cid) in cids.iter().enumerate() {
+                let base = bases[k];
+                if base <= 0.0 {
                     continue;
                 }
-                out.push(Candidate {
-                    customer: cid,
-                    vendor: vid,
-                    ad_type: tid,
-                    gamma: lambda / t.cost.as_dollars(),
-                });
+                for (tid, t) in inst.ad_types_enumerated() {
+                    let lambda = base * t.effectiveness;
+                    if lambda <= 0.0 {
+                        continue;
+                    }
+                    out.push(Candidate {
+                        customer: cid,
+                        vendor: vid,
+                        ad_type: tid,
+                        gamma: lambda / t.cost.as_dollars(),
+                    });
+                }
             }
-        }
-        out
+            out
+        })
     });
     let mut out = Vec::with_capacity(per_vendor.iter().map(Vec::len).sum());
     for list in per_vendor {
@@ -68,10 +82,15 @@ impl OfflineSolver for Greedy {
     fn assign(&self, ctx: &SolverContext<'_>) -> AssignmentSet {
         let mut candidates = collect_candidates(ctx);
         // Sort by efficiency descending; ties by ids for determinism.
+        // `total_cmp` (not `partial_cmp(..).unwrap_or(Equal)`) so that a
+        // pathological utility model producing NaN gammas still yields a
+        // strict weak order — `sort_by` may panic on an inconsistent
+        // comparator, and `Equal`-on-NaN breaks transitivity. For the
+        // finite positive gammas of real models the two orders agree
+        // exactly (total order matches `<` on same-sign finite floats).
         candidates.sort_by(|a, b| {
             b.gamma
-                .partial_cmp(&a.gamma)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.gamma)
                 .then(a.customer.cmp(&b.customer))
                 .then(a.vendor.cmp(&b.vendor))
                 .then(a.ad_type.cmp(&b.ad_type))
@@ -235,6 +254,57 @@ mod tests {
         assert_eq!(set.len(), 1);
         let a = set.assignments()[0];
         assert_eq!(inst.ad_type(a.ad_type).name, "PL");
+    }
+
+    /// A utility model whose similarity is NaN for half the customers —
+    /// NaN pair bases survive the `<= 0.0` filters (all comparisons
+    /// with NaN are false), so NaN gammas reach the sort. With the old
+    /// `partial_cmp(..).unwrap_or(Equal)` comparator that broke strict
+    /// weak ordering; `total_cmp` keeps the sort deterministic (and
+    /// panic-free).
+    struct NanUtility;
+
+    impl muaa_core::UtilityModel for NanUtility {
+        fn distance(
+            &self,
+            _cid: muaa_core::CustomerId,
+            c: &Customer,
+            _vid: muaa_core::VendorId,
+            v: &muaa_core::Vendor,
+        ) -> f64 {
+            c.location.clamped_distance(&v.location, 1e-4)
+        }
+
+        fn similarity(
+            &self,
+            cid: muaa_core::CustomerId,
+            _c: &Customer,
+            _vid: muaa_core::VendorId,
+            _v: &muaa_core::Vendor,
+        ) -> f64 {
+            if cid.index() % 2 == 0 {
+                f64::NAN
+            } else {
+                0.5
+            }
+        }
+    }
+
+    #[test]
+    fn nan_gammas_sort_deterministically() {
+        let inst = instance(16, 3, 4.0);
+        let model = NanUtility;
+        let ctx = SolverContext::brute_force(&inst, &model);
+        // Must not panic (strict weak order holds under total_cmp), and
+        // repeated runs must agree assignment-for-assignment.
+        let a = Greedy.assign(&ctx);
+        let b = Greedy.assign(&ctx);
+        assert_eq!(a.assignments(), b.assignments());
+        // The NaN-free half of the instance still gets served.
+        assert!(a
+            .assignments()
+            .iter()
+            .any(|asg| asg.customer.index() % 2 == 1));
     }
 
     #[test]

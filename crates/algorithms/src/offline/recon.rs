@@ -178,55 +178,62 @@ impl<'c, 'a> ReconState<'c, 'a> {
 
 impl OfflineSolver for Recon {
     fn assign(&self, ctx: &SolverContext<'_>) -> muaa_core::AssignmentSet {
+        use std::cell::RefCell;
+        thread_local! {
+            static BASES: RefCell<Vec<f64>> = RefCell::new(Vec::new());
+        }
         let inst = ctx.instance();
         let n_vendors = inst.num_vendors();
         let mut per_vendor: Vec<Vec<(CustomerId, AdTypeId, f64)>> = Vec::with_capacity(n_vendors);
         let mut load = vec![0u32; inst.num_customers()];
         let mut spend = vec![Money::ZERO; n_vendors];
-        let mut valid_customers_per_vendor: Vec<Vec<CustomerId>> = Vec::with_capacity(n_vendors);
 
         // ---- Phase 1: single-vendor MCKPs (Alg. 1 lines 2–5). ----
         // Each vendor's MCKP is independent, so the solves fan out in
         // parallel; the load/spend bookkeeping is merged sequentially in
         // vendor-id order, giving the same state as the sequential loop.
+        // Eligible customers come from the precomputed CSR slice and pair
+        // bases from one batched-kernel call into a thread-local scratch
+        // (DESIGN.md §11) — nothing per-vendor is allocated beyond the
+        // MCKP problem itself.
         let phase1 = muaa_core::par::par_map(inst.vendors(), 1, |j, vendor| {
             let vid = VendorId::from(j);
-            let valid = ctx.valid_customers(vid);
+            let valid = ctx.eligible_customers(vid);
             let mut problem = MckpProblem::new(vendor.budget.as_cents());
-            // Class order ↔ valid-customer order.
-            let mut bases = Vec::with_capacity(valid.len());
-            for &cid in &valid {
-                let base = ctx.pair_base(cid, vid);
-                bases.push(base);
-                problem.add_class(
-                    inst.ad_types()
-                        .iter()
-                        .map(|t| {
-                            MckpItem::new(t.cost.as_cents(), (base * t.effectiveness).max(0.0))
-                        })
-                        .collect(),
-                );
-            }
-            let solution = self.backend.solve(&problem);
-            let mut picked = Vec::new();
-            for (class, item) in solution.picks() {
-                let cid = valid[class];
-                let tid = AdTypeId::from(item);
-                let lambda = bases[class] * inst.ad_type(tid).effectiveness;
-                if lambda <= 0.0 {
-                    continue;
+            BASES.with(|scratch| {
+                let bases = &mut *scratch.borrow_mut();
+                ctx.pair_base_block(vid, valid, bases);
+                // Class order ↔ valid-customer order.
+                for &base in bases.iter() {
+                    problem.add_class(
+                        inst.ad_types()
+                            .iter()
+                            .map(|t| {
+                                MckpItem::new(t.cost.as_cents(), (base * t.effectiveness).max(0.0))
+                            })
+                            .collect(),
+                    );
                 }
-                picked.push((cid, tid, lambda));
-            }
-            (valid, picked)
+                let solution = self.backend.solve(&problem);
+                let mut picked = Vec::new();
+                for (class, item) in solution.picks() {
+                    let cid = valid[class];
+                    let tid = AdTypeId::from(item);
+                    let lambda = bases[class] * inst.ad_type(tid).effectiveness;
+                    if lambda <= 0.0 {
+                        continue;
+                    }
+                    picked.push((cid, tid, lambda));
+                }
+                picked
+            })
         });
-        for (j, (valid, picked)) in phase1.into_iter().enumerate() {
+        for (j, picked) in phase1.into_iter().enumerate() {
             for &(cid, tid, _) in &picked {
                 load[cid.index()] += 1;
                 spend[j] += inst.ad_type(tid).cost;
             }
             per_vendor.push(picked);
-            valid_customers_per_vendor.push(valid);
         }
 
         // ---- Phase 2: reconcile violations (Alg. 1 lines 6–11). ----
@@ -259,8 +266,9 @@ impl OfflineSolver for Recon {
                 }
                 let Some((vid, _)) = worst else { break };
                 state.remove_lowest_for(vid, cid);
-                // Line 11: the freed vendor re-assigns greedily.
-                state.refill(vid, &valid_customers_per_vendor[vid.index()]);
+                // Line 11: the freed vendor re-assigns greedily, over
+                // the same CSR eligibility slice phase 1 used.
+                state.refill(vid, ctx.eligible_customers(vid));
             }
         }
 

@@ -54,17 +54,14 @@ pub fn estimate_gamma_bounds(
     // budgets were fresh.
     let mut attempts = 0usize;
     let max_attempts = samples.saturating_mul(4).max(64);
-    // Repeated draws hit the same customers; memoize each customer's
-    // valid-vendor list on first use. The RNG stream and every sampled
-    // quantity are unchanged.
-    let mut valid_memo: std::collections::HashMap<usize, Vec<muaa_core::VendorId>> =
-        std::collections::HashMap::new();
     while gammas.len() < samples && attempts < max_attempts {
         attempts += 1;
         let cid = muaa_core::CustomerId::from(rng.gen_range(0..inst.num_customers()));
-        let vendors = valid_memo
-            .entry(cid.index())
-            .or_insert_with(|| ctx.valid_vendors(cid));
+        // The context's precomputed CSR slice — same list and order the
+        // per-draw query (and the HashMap memo that replaced it) used to
+        // produce, so the RNG stream and every sampled quantity are
+        // unchanged.
+        let vendors = ctx.eligible_vendors(cid);
         if vendors.is_empty() {
             continue;
         }

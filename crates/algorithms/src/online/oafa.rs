@@ -89,7 +89,7 @@ impl OnlineSolver for OAfa {
 
         // Lines 2–6: gather threshold-passing candidates.
         let mut candidates: Vec<Candidate> = Vec::new();
-        for vid in ctx.valid_vendors(customer) {
+        for &vid in ctx.eligible_vendors(customer) {
             let remaining = state.remaining_budget(inst, vid);
             let Some((tid, _lambda, gamma)) = ctx.best_ad_type(customer, vid, remaining) else {
                 continue;

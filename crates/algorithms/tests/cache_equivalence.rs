@@ -143,4 +143,90 @@ proptest! {
         let b = Greedy.assign(&brute);
         prop_assert_eq!(a.assignments(), b.assignments());
     }
+
+    /// The precomputed CSR eligibility index (DESIGN.md §11) holds
+    /// exactly the pairs `pair_valid` accepts — as sets, in both
+    /// construction modes — and the two directions of the index agree
+    /// with each other.
+    #[test]
+    fn eligibility_csr_agrees_with_pair_valid(instance in instance_strategy()) {
+        let model = PearsonUtility::new(diurnal_profile());
+        for ctx in [
+            SolverContext::indexed(&instance, &model),
+            SolverContext::brute_force(&instance, &model),
+        ] {
+            for (vid, _) in instance.vendors_enumerated() {
+                let mut got = ctx.eligible_customers(vid).to_vec();
+                got.sort_unstable();
+                let expect: Vec<_> = instance
+                    .customers_enumerated()
+                    .map(|(cid, _)| cid)
+                    .filter(|&cid| ctx.pair_valid(cid, vid))
+                    .collect();
+                prop_assert_eq!(got, expect, "vendor {} customers", vid);
+            }
+            for (cid, _) in instance.customers_enumerated() {
+                let mut got = ctx.eligible_vendors(cid).to_vec();
+                got.sort_unstable();
+                let expect: Vec<_> = instance
+                    .vendors_enumerated()
+                    .map(|(vid, _)| vid)
+                    .filter(|&vid| ctx.pair_valid(cid, vid))
+                    .collect();
+                prop_assert_eq!(got, expect, "customer {} vendors", cid);
+            }
+        }
+    }
+
+    /// The batched pair-base kernel is bit-identical to per-pair
+    /// `pair_base` in every cache configuration: memoized, fused-only
+    /// (`with_pair_cache_cap(0)`), and fully uncached.
+    #[test]
+    fn pair_base_block_is_zero_ulp(instance in instance_strategy()) {
+        let model = PearsonUtility::new(diurnal_profile());
+        let reference = SolverContext::indexed(&instance, &model).without_pair_cache();
+        let contexts = [
+            SolverContext::indexed(&instance, &model),
+            SolverContext::indexed(&instance, &model).with_pair_cache_cap(0),
+            SolverContext::indexed(&instance, &model).without_pair_cache(),
+        ];
+        let mut block = Vec::new();
+        for ctx in &contexts {
+            for (vid, _) in instance.vendors_enumerated() {
+                let cids = ctx.eligible_customers(vid).to_vec();
+                // Twice: fill pass then memo-hit pass.
+                for pass in 0..2 {
+                    ctx.pair_base_block(vid, &cids, &mut block);
+                    prop_assert_eq!(block.len(), cids.len());
+                    for (k, &cid) in cids.iter().enumerate() {
+                        prop_assert_eq!(
+                            block[k].to_bits(),
+                            reference.pair_base(cid, vid).to_bits(),
+                            "pair ({}, {}) pass {}", cid, vid, pass
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solver outputs are invariant to the pair-cache cap: a context
+    /// with memoization disabled must produce byte-identical assignments
+    /// to the default (memoized) one.
+    #[test]
+    fn solvers_invariant_to_cache_cap(instance in instance_strategy()) {
+        let model = PearsonUtility::new(diurnal_profile());
+        let memoized = SolverContext::indexed(&instance, &model);
+        let capless = SolverContext::indexed(&instance, &model).with_pair_cache_cap(0);
+        let solvers: Vec<Box<dyn OfflineSolver>> = vec![
+            Box::new(Greedy),
+            Box::new(Recon::new()),
+            Box::new(BatchedRecon::new(3)),
+        ];
+        for solver in &solvers {
+            let a = solver.assign(&memoized);
+            let b = solver.assign(&capless);
+            prop_assert_eq!(a.assignments(), b.assignments(), "{} diverged", solver.name());
+        }
+    }
 }

@@ -117,5 +117,65 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench, bench_pair_cache, bench_thread_scaling);
+/// Candidate-arena ablation (DESIGN.md §11): per-vendor candidate
+/// generation through the old allocating path (grid range query into a
+/// fresh Vec, pair_valid filter into a second Vec, one pair_base call
+/// per candidate) vs the zero-allocation path (precomputed CSR
+/// eligibility slice + one pair_base_block into a reused scratch
+/// buffer). Same warmed memo on both sides.
+fn bench_candidate_arena(c: &mut Criterion) {
+    use muaa_spatial::GridIndex;
+
+    let fixture = muaa_bench::synthetic_fixture(2000, 40, (5.0, 10.0));
+    let inst = &fixture.instance;
+    let ctx = SolverContext::indexed(inst, &fixture.model);
+    let grid = GridIndex::new(
+        inst.customers().iter().map(|c| c.location).collect(),
+        inst.vendors().iter().map(|v| v.radius).sum::<f64>() / inst.num_vendors().max(1) as f64,
+    );
+    // Warm the memo so both sides measure generation, not Pearson math.
+    for (vid, _) in inst.vendors_enumerated() {
+        let mut scratch = Vec::new();
+        ctx.pair_base_block(vid, ctx.eligible_customers(vid), &mut scratch);
+    }
+
+    let mut group = c.benchmark_group("micro_utility_candidate_arena");
+    group.bench_function("old_alloc_per_vendor", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (vid, vendor) in inst.vendors_enumerated() {
+                let hits = grid.range_query(vendor.location, vendor.radius);
+                let valid: Vec<CustomerId> = hits
+                    .into_iter()
+                    .map(CustomerId::new)
+                    .filter(|&cid| ctx.pair_valid(cid, vid))
+                    .collect();
+                for &cid in &valid {
+                    acc += ctx.pair_base(cid, vid);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("new_csr_arena", |b| {
+        let mut scratch: Vec<f64> = Vec::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (vid, _) in inst.vendors_enumerated() {
+                ctx.pair_base_block(vid, ctx.eligible_customers(vid), &mut scratch);
+                acc += scratch.iter().sum::<f64>();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench,
+    bench_pair_cache,
+    bench_thread_scaling,
+    bench_candidate_arena
+);
 criterion_main!(benches);

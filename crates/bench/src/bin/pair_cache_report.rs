@@ -1,14 +1,24 @@
 //! Standalone pair-cache benchmark report: measures the pair-base
 //! memoization speedup and the parallel candidate-generation scaling on
 //! a pair_base-heavy synthetic workload, then writes the numbers to
-//! `BENCH_pair_cache.json` in the current directory.
+//! `BENCH_pair_cache.json` in the current directory — plus the
+//! arena-vs-alloc candidate-generation comparison (DESIGN.md §11) to
+//! `BENCH_candidate_arena.json`.
 //!
 //! Unlike the criterion benches this needs no harness and runs in a few
-//! seconds, so it can gate the ≥3× acceptance bar for DESIGN.md §10 in
-//! environments where criterion is unavailable.
+//! seconds, so it can gate the ≥3× acceptance bar for DESIGN.md §10
+//! (and the ≥2× candidate-arena bar of §11) in environments where
+//! criterion is unavailable.
+//!
+//! Usage: `pair_cache_report [customers] [vendors]` (default
+//! 10000 × 100). Set `MUAA_BENCH_MIN_HIT_SPEEDUP` /
+//! `MUAA_BENCH_MIN_ARENA_SPEEDUP` to fail the run (exit 1) when the
+//! corresponding speedup comes in under the floor — the CI bench-smoke
+//! job uses this on a small fixture.
 
 use muaa_algorithms::{Greedy, OfflineSolver, Recon, SolverContext};
-use muaa_core::par;
+use muaa_core::{par, CustomerId};
+use muaa_spatial::GridIndex;
 use std::time::Instant;
 
 /// Best-of-N wall clock for `f`, in seconds.
@@ -23,8 +33,15 @@ fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> f64 {
 }
 
 fn main() {
-    let customers = 10_000;
-    let vendors = 100;
+    let mut args = std::env::args().skip(1);
+    let customers: usize = args
+        .next()
+        .map(|a| a.parse().expect("customers must be an integer"))
+        .unwrap_or(10_000);
+    let vendors: usize = args
+        .next()
+        .map(|a| a.parse().expect("vendors must be an integer"))
+        .unwrap_or(100);
     let fixture = muaa_bench::synthetic_fixture(customers, vendors, (5.0, 10.0));
     let inst = &fixture.instance;
     let pairs = (customers * vendors) as f64;
@@ -72,6 +89,67 @@ fn main() {
         })
     });
 
+    // --- Candidate-arena group (DESIGN.md §11): per-vendor candidate
+    // generation, old allocating path vs new zero-allocation path. ---
+    //
+    // Old path (pre-CSR): a grid range query per vendor (fresh Vec),
+    // a pair_valid filter into a second fresh Vec, then one pair_base
+    // call per candidate. New path: the precomputed CSR eligibility
+    // slice plus one pair_base_block call into a reused scratch buffer.
+    // Both run against the same warmed memo, so the delta is pure
+    // candidate-generation overhead.
+    let customer_points: Vec<_> = inst.customers().iter().map(|c| c.location).collect();
+    let mean_radius =
+        inst.vendors().iter().map(|v| v.radius).sum::<f64>() / inst.num_vendors().max(1) as f64;
+    let grid = GridIndex::new(customer_points, mean_radius);
+    let eligible_pairs: usize = inst
+        .vendors_enumerated()
+        .map(|(vid, _)| cached.eligible_customers(vid).len())
+        .sum();
+
+    let gen_old = || -> (f64, usize) {
+        let mut acc = 0.0;
+        let mut total = 0usize;
+        for (vid, vendor) in inst.vendors_enumerated() {
+            let hits = grid.range_query(vendor.location, vendor.radius);
+            let valid: Vec<CustomerId> = hits
+                .into_iter()
+                .map(CustomerId::new)
+                .filter(|&cid| cached.pair_valid(cid, vid))
+                .collect();
+            for &cid in &valid {
+                acc += cached.pair_base(cid, vid);
+            }
+            total += valid.len();
+        }
+        (acc, total)
+    };
+    let mut scratch: Vec<f64> = Vec::new();
+    let mut gen_new = || -> (f64, usize) {
+        let mut acc = 0.0;
+        let mut total = 0usize;
+        for (vid, _) in inst.vendors_enumerated() {
+            let cids = cached.eligible_customers(vid);
+            cached.pair_base_block(vid, cids, &mut scratch);
+            acc += scratch.iter().sum::<f64>();
+            total += cids.len();
+        }
+        (acc, total)
+    };
+    // Sanity: both paths must see the same candidate set.
+    let (old_acc, old_total) = gen_old();
+    let (new_acc, new_total) = gen_new();
+    assert_eq!(old_total, new_total, "candidate sets diverged");
+    assert!(
+        (old_acc - new_acc).abs() <= 1e-9 * old_acc.abs().max(1.0),
+        "candidate base sums diverged: {old_acc} vs {new_acc}"
+    );
+    let arena_old_s = best_of(5, gen_old);
+    let arena_new_s = best_of(5, &mut gen_new);
+    let arena_speedup = arena_old_s / arena_new_s;
+    let old_pairs_per_s = eligible_pairs as f64 / arena_old_s;
+    let new_pairs_per_s = eligible_pairs as f64 / arena_new_s;
+
     let speedup_hit = uncached_s / hit_s;
     let speedup_fill = uncached_s / fill_s;
     let json = format!(
@@ -112,8 +190,66 @@ fn main() {
     );
     std::fs::write("BENCH_pair_cache.json", &json).expect("write BENCH_pair_cache.json");
     print!("{json}");
+
+    let arena_json = format!(
+        concat!(
+            "{{\n",
+            "  \"fixture\": {{\"customers\": {}, \"vendors\": {}, \"tags\": 8}},\n",
+            "  \"threads\": {},\n",
+            "  \"eligible_pairs\": {},\n",
+            "  \"candidate_generation_pairs_per_s\": {{\n",
+            "    \"old_alloc_per_vendor\": {:.0},\n",
+            "    \"new_csr_arena\": {:.0}\n",
+            "  }},\n",
+            "  \"candidate_generation_ms\": {{\n",
+            "    \"old_alloc_per_vendor\": {:.3},\n",
+            "    \"new_csr_arena\": {:.3}\n",
+            "  }},\n",
+            "  \"speedup\": {:.2},\n",
+            "  \"target_speedup\": 2.0\n",
+            "}}\n"
+        ),
+        customers,
+        vendors,
+        threads,
+        eligible_pairs,
+        old_pairs_per_s,
+        new_pairs_per_s,
+        arena_old_s * 1e3,
+        arena_new_s * 1e3,
+        arena_speedup,
+    );
+    std::fs::write("BENCH_candidate_arena.json", &arena_json)
+        .expect("write BENCH_candidate_arena.json");
+    print!("{arena_json}");
+
     eprintln!(
         "pair_base memo-hit speedup: {speedup_hit:.2}x (target >= 3x); \
-         fill speedup: {speedup_fill:.2}x; threads: {threads}"
+         fill speedup: {speedup_fill:.2}x; \
+         candidate-arena speedup: {arena_speedup:.2}x (target >= 2x); threads: {threads}"
     );
+
+    // Optional CI floors: fail loudly when a speedup regresses below the
+    // configured minimum.
+    let floor = |var: &str| -> Option<f64> {
+        std::env::var(var)
+            .ok()
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("{var} must be a float")))
+    };
+    let mut failed = false;
+    if let Some(min) = floor("MUAA_BENCH_MIN_HIT_SPEEDUP") {
+        if speedup_hit < min {
+            eprintln!("FAIL: memo-hit speedup {speedup_hit:.2}x < floor {min:.2}x");
+            failed = true;
+        }
+    }
+    if let Some(min) = floor("MUAA_BENCH_MIN_ARENA_SPEEDUP") {
+        if arena_speedup < min {
+            eprintln!("FAIL: candidate-arena speedup {arena_speedup:.2}x < floor {min:.2}x");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

@@ -207,27 +207,44 @@ impl PearsonUtility {
         customer: &Customer,
         vendor: &Vendor,
     ) -> f64 {
-        let xs = customer.interests.as_slice();
-        let ys = vendor.tags.as_slice();
-        debug_assert_eq!(xs.len(), moments.weights.len());
-        debug_assert_eq!(ys.len(), moments.weights.len());
+        Self::similarity_from_parts(
+            &moments.weights,
+            customer.interests.as_slice(),
+            moments.sw,
+            moments.swx,
+            moments.swxx,
+            vendor.tags.as_slice(),
+        )
+    }
+
+    /// Slice-level core of [`similarity_with_moments`](Self::similarity_with_moments):
+    /// Eq. (5) from raw parts, for callers that keep customer moments in
+    /// flat structure-of-arrays storage (DESIGN.md §11) rather than in
+    /// [`CustomerMoments`] values. `weights`/`xs` are the customer's
+    /// activity weights and interest vector, `sw`/`swx`/`swxx` their
+    /// precomputed moments, `ys` the vendor tags. Bit-identical to the
+    /// struct-based path — `similarity_with_moments` is a thin wrapper
+    /// over this function.
+    #[inline]
+    pub fn similarity_from_parts(
+        weights: &[f64],
+        xs: &[f64],
+        sw: f64,
+        swx: f64,
+        swxx: f64,
+        ys: &[f64],
+    ) -> f64 {
+        debug_assert_eq!(xs.len(), weights.len());
+        debug_assert_eq!(ys.len(), weights.len());
         let (mut swy, mut swyy, mut swxy) = (0.0, 0.0, 0.0);
         for t in 0..ys.len() {
-            let w = moments.weights[t];
+            let w = weights[t];
             let y = ys[t];
             swy += w * y;
             swyy += w * y * y;
             swxy += w * xs[t] * y;
         }
-        pearson_from_moments(
-            moments.sw,
-            moments.swx,
-            moments.swxx,
-            swy,
-            swyy,
-            swxy,
-        )
-        .clamp(0.0, 1.0)
+        pearson_from_moments(sw, swx, swxx, swy, swyy, swxy).clamp(0.0, 1.0)
     }
 }
 
@@ -254,6 +271,21 @@ impl CustomerMoments {
     /// The activity weights at the customer's arrival time.
     pub fn weights(&self) -> &[f64] {
         &self.weights
+    }
+
+    /// `Σ_x w_x`.
+    pub fn sw(&self) -> f64 {
+        self.sw
+    }
+
+    /// `Σ_x w_x · ψ_i[x]`.
+    pub fn swx(&self) -> f64 {
+        self.swx
+    }
+
+    /// `Σ_x w_x · ψ_i[x]²`.
+    pub fn swxx(&self) -> f64 {
+        self.swxx
     }
 }
 
@@ -545,6 +577,28 @@ mod tests {
                 cached.to_bits(),
                 "moments path not bit-identical: {direct} vs {cached}"
             );
+        }
+    }
+
+    #[test]
+    fn similarity_from_parts_matches_moments_path() {
+        let model = PearsonUtility::uniform(5);
+        for seed in 0..8u64 {
+            let xs: Vec<f64> = (0..5).map(|t| ((seed + t * 3) % 6) as f64 / 5.0).collect();
+            let ys: Vec<f64> = (0..5).map(|t| ((seed * 2 + t) % 4) as f64 / 3.0).collect();
+            let c = customer_with(xs.clone(), 0.5, Timestamp::MIDNIGHT);
+            let v = vendor_with(ys.clone(), Point::new(1.0, 0.0));
+            let m = model.customer_moments(&c);
+            let via_struct = model.similarity_with_moments(&m, &c, &v);
+            let via_parts = PearsonUtility::similarity_from_parts(
+                m.weights(),
+                &xs,
+                m.sw(),
+                m.swx(),
+                m.swxx(),
+                &ys,
+            );
+            assert_eq!(via_struct.to_bits(), via_parts.to_bits());
         }
     }
 

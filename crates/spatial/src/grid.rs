@@ -5,6 +5,15 @@
 //! (points roughly in `[0,1]²`, query radii a few percent of the space)
 //! this is the textbook structure: build is `O(n)`, queries touch
 //! `O(r²/cell²)` cells.
+//!
+//! Storage is CSR / structure-of-arrays (DESIGN.md §11): instead of one
+//! `Vec<u32>` bucket per cell, all point slots are stored cell-sorted in
+//! parallel `xs`/`ys`/`slot_ids` arrays with one `cell_off` offset table.
+//! A query row (`lo_cx..=hi_cx` within one `cy`) is then a *single
+//! contiguous slice* of those arrays, so the distance predicate runs
+//! over dense memory with no per-bucket pointer chase — and produces
+//! hits in exactly the order the nested-`Vec` layout did (cells in
+//! row-major order, points in insertion order within a cell).
 
 use muaa_core::Point;
 
@@ -25,10 +34,17 @@ use muaa_core::Point;
 /// ```
 #[derive(Clone, Debug)]
 pub struct GridIndex {
-    /// All points, in insertion order; `cells` stores indices into this.
+    /// All points, in insertion order; serves [`point`](Self::point).
     points: Vec<Point>,
-    /// Flattened cell buckets: `cell_of[c]` lists point indices.
-    buckets: Vec<Vec<u32>>,
+    /// X coordinates in slot (cell-sorted) order.
+    xs: Vec<f64>,
+    /// Y coordinates in slot (cell-sorted) order.
+    ys: Vec<f64>,
+    /// Caller index per slot.
+    slot_ids: Vec<u32>,
+    /// CSR offsets: slots of cell `c` are `cell_off[c]..cell_off[c+1]`.
+    /// Length `cols · rows + 1`.
+    cell_off: Vec<u32>,
     cols: usize,
     rows: usize,
     cell: f64,
@@ -52,20 +68,40 @@ impl GridIndex {
         }
         let cols = ((width / cell).ceil() as usize).max(1);
         let rows = ((height / cell).ceil() as usize).max(1);
-        let mut buckets = vec![Vec::new(); cols * rows];
-        // Cell assignment is embarrassingly parallel; the bucket fill
-        // stays sequential in point order so every bucket's contents are
-        // identical to a fully sequential build.
+        // Cell assignment is embarrassingly parallel; the CSR fill below
+        // is a stable counting sort in point order, so every cell's slot
+        // run lists points in insertion order — identical to the
+        // sequential nested-Vec bucket fill this replaced.
         let cell_ids = muaa_core::par::par_map(&points, 4096, |_, p| {
             let (cx, cy) = cell_of(p, min_x, min_y, cell, cols, rows);
             cy * cols + cx
         });
+        let n = points.len();
+        let cells = cols * rows;
+        let mut cell_off = vec![0u32; cells + 1];
+        for &c in &cell_ids {
+            cell_off[c + 1] += 1;
+        }
+        for c in 0..cells {
+            cell_off[c + 1] += cell_off[c];
+        }
+        let mut cursor: Vec<u32> = cell_off[..cells].to_vec();
+        let mut xs = vec![0.0; n];
+        let mut ys = vec![0.0; n];
+        let mut slot_ids = vec![0u32; n];
         for (i, &c) in cell_ids.iter().enumerate() {
-            buckets[c].push(i as u32);
+            let slot = cursor[c] as usize;
+            cursor[c] += 1;
+            xs[slot] = points[i].x;
+            ys[slot] = points[i].y;
+            slot_ids[slot] = i as u32;
         }
         GridIndex {
             points,
-            buckets,
+            xs,
+            ys,
+            slot_ids,
+            cell_off,
             cols,
             rows,
             cell,
@@ -101,14 +137,26 @@ impl GridIndex {
         self.points[index]
     }
 
-    /// Indices of all points within `radius` (inclusive) of `center`,
-    /// appended to `out` in unspecified order. `out` is cleared first.
-    pub fn range_query_into(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
-        out.clear();
+    /// The caller index stored in each slot, in cell-sorted order —
+    /// the permutation callers use to build slot-ordered side tables
+    /// (see [`VendorIndex`](crate::VendorIndex)).
+    pub(crate) fn slot_ids(&self) -> &[u32] {
+        &self.slot_ids
+    }
+
+    /// Visit every storage slot whose cell overlaps the query disc, in
+    /// slot order, as `f(slot, squared distance to center)`. The cells
+    /// of one grid row are contiguous in slot space, so this is one
+    /// dense scan per row. Callers apply their own radius predicate.
+    pub(crate) fn visit_candidate_slots(
+        &self,
+        center: Point,
+        radius: f64,
+        mut f: impl FnMut(usize, f64),
+    ) {
         if self.points.is_empty() || radius < 0.0 || radius.is_nan() {
             return;
         }
-        let r2 = radius * radius;
         let (lo_cx, lo_cy) = cell_of(
             &Point::new(center.x - radius, center.y - radius),
             self.min_x,
@@ -126,14 +174,26 @@ impl GridIndex {
             self.rows,
         );
         for cy in lo_cy..=hi_cy {
-            for cx in lo_cx..=hi_cx {
-                for &idx in &self.buckets[cy * self.cols + cx] {
-                    if self.points[idx as usize].distance_sq(&center) <= r2 {
-                        out.push(idx);
-                    }
-                }
+            let row = cy * self.cols;
+            let s = self.cell_off[row + lo_cx] as usize;
+            let e = self.cell_off[row + hi_cx + 1] as usize;
+            for slot in s..e {
+                let d2 = Point::new(self.xs[slot], self.ys[slot]).distance_sq(&center);
+                f(slot, d2);
             }
         }
+    }
+
+    /// Indices of all points within `radius` (inclusive) of `center`,
+    /// appended to `out` in unspecified order. `out` is cleared first.
+    pub fn range_query_into(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let r2 = radius * radius;
+        self.visit_candidate_slots(center, radius, |slot, d2| {
+            if d2 <= r2 {
+                out.push(self.slot_ids[slot]);
+            }
+        });
     }
 
     /// Convenience wrapper around [`range_query_into`](Self::range_query_into).
@@ -354,5 +414,114 @@ mod tests {
         let idx = GridIndex::new(pts(&[(0.5, 0.5); 5]), 0.1);
         assert_eq!(idx.range_query(Point::new(0.5, 0.5), 0.01).len(), 5);
         assert_eq!(idx.k_nearest(Point::new(0.0, 0.0), 3).len(), 3);
+    }
+
+    /// Reference implementation with the pre-CSR nested-Vec bucket
+    /// layout: buckets filled sequentially in point order, queried in
+    /// row-major cell order. The CSR index must reproduce its output
+    /// *sequences* (not just sets) exactly.
+    struct NestedVecGrid {
+        points: Vec<Point>,
+        buckets: Vec<Vec<u32>>,
+        cols: usize,
+        rows: usize,
+        cell: f64,
+        min_x: f64,
+        min_y: f64,
+    }
+
+    impl NestedVecGrid {
+        fn new(points: Vec<Point>, cell_size: f64) -> Self {
+            let (min_x, min_y, max_x, max_y) = bounds(&points);
+            let width = (max_x - min_x).max(f64::MIN_POSITIVE);
+            let height = (max_y - min_y).max(f64::MIN_POSITIVE);
+            let mut cell = cell_size;
+            const MAX_CELLS: f64 = 4_000_000.0;
+            if (width / cell) * (height / cell) > MAX_CELLS {
+                cell = ((width * height) / MAX_CELLS).sqrt();
+            }
+            let cols = ((width / cell).ceil() as usize).max(1);
+            let rows = ((height / cell).ceil() as usize).max(1);
+            let mut buckets = vec![Vec::new(); cols * rows];
+            for (i, p) in points.iter().enumerate() {
+                let (cx, cy) = cell_of(p, min_x, min_y, cell, cols, rows);
+                buckets[cy * cols + cx].push(i as u32);
+            }
+            NestedVecGrid {
+                points,
+                buckets,
+                cols,
+                rows,
+                cell,
+                min_x,
+                min_y,
+            }
+        }
+
+        fn range_query(&self, center: Point, radius: f64) -> Vec<u32> {
+            let mut out = Vec::new();
+            if self.points.is_empty() || radius < 0.0 || radius.is_nan() {
+                return out;
+            }
+            let r2 = radius * radius;
+            let (lo_cx, lo_cy) = cell_of(
+                &Point::new(center.x - radius, center.y - radius),
+                self.min_x,
+                self.min_y,
+                self.cell,
+                self.cols,
+                self.rows,
+            );
+            let (hi_cx, hi_cy) = cell_of(
+                &Point::new(center.x + radius, center.y + radius),
+                self.min_x,
+                self.min_y,
+                self.cell,
+                self.cols,
+                self.rows,
+            );
+            for cy in lo_cy..=hi_cy {
+                for cx in lo_cx..=hi_cx {
+                    for &idx in &self.buckets[cy * self.cols + cx] {
+                        if self.points[idx as usize].distance_sq(&center) <= r2 {
+                            out.push(idx);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Deterministic replica of the CSR-vs-nested-Vec property: the
+    /// flat layout must return the same hit *sequence* as the bucket
+    /// layout for every query (order included). The proptest version in
+    /// `tests/properties.rs` covers random geometry; this one runs in
+    /// registry-less environments too.
+    #[test]
+    fn csr_layout_matches_nested_vec_reference_order() {
+        let points: Vec<Point> = (0..600)
+            .map(|i| {
+                let a = (i as f64 * 0.618_033_988_749_895) % 1.0;
+                let b = (i as f64 * 0.754_877_666_246_693) % 1.0;
+                Point::new(a, b)
+            })
+            .collect();
+        for cell in [0.03, 0.11, 0.47] {
+            let csr = GridIndex::with_cell_size(points.clone(), cell);
+            let reference = NestedVecGrid::new(points.clone(), cell);
+            for q in 0..40 {
+                let center = Point::new(
+                    (q as f64 * 0.37) % 1.2 - 0.1,
+                    (q as f64 * 0.73) % 1.2 - 0.1,
+                );
+                let radius = (q as f64 * 0.017) % 0.4;
+                assert_eq!(
+                    csr.range_query(center, radius),
+                    reference.range_query(center, radius),
+                    "cell {cell}, query {q}"
+                );
+            }
+        }
     }
 }

@@ -7,6 +7,11 @@
 //! power-of-two radius classes, each with its own [`GridIndex`], and
 //! queries every class with that class's maximum radius; candidates are
 //! then filtered by their exact radius.
+//!
+//! Per-class side tables (`r2`, `ids`) are stored in the grid's *slot*
+//! order (DESIGN.md §11), so a query is one contiguous scan per class
+//! with zero scratch allocation: the grid visits candidate slots, and
+//! the exact-radius filter reads `r2[slot]` from the parallel array.
 
 use crate::grid::GridIndex;
 use muaa_core::{Point, Vendor, VendorId};
@@ -15,7 +20,7 @@ use muaa_core::{Point, Vendor, VendorId};
 /// set `V'` of paper Algorithm 2, line 2).
 #[derive(Clone, Debug)]
 pub struct VendorIndex {
-    /// One (grid, class max radius, member radii, member vendor ids)
+    /// One (grid, class max radius, slot-ordered r², slot-ordered ids)
     /// per radius class.
     classes: Vec<RadiusClass>,
     len: usize,
@@ -25,8 +30,9 @@ pub struct VendorIndex {
 struct RadiusClass {
     grid: GridIndex,
     max_radius: f64,
-    /// Parallel to the grid's point order.
-    radii: Vec<f64>,
+    /// Squared member radius, parallel to the grid's *slot* order.
+    r2: Vec<f64>,
+    /// Member vendor id, parallel to the grid's *slot* order.
     ids: Vec<VendorId>,
 }
 
@@ -65,14 +71,26 @@ impl VendorIndex {
         let classes = muaa_core::par::par_map(&partitions, 1, |_, (max_radius, members)| {
             let max_radius = *max_radius;
             let points: Vec<Point> = members.iter().map(|&j| vendors[j].location).collect();
-            let radii: Vec<f64> = members.iter().map(|&j| vendors[j].radius).collect();
-            let ids: Vec<VendorId> = members.iter().map(|&j| VendorId::from(j)).collect();
-            // Use the class radius as the cell-size hint.
             let grid = GridIndex::new(points, max_radius);
+            // Side tables live in slot (cell-sorted) order so queries
+            // never translate slot → insertion index.
+            let r2: Vec<f64> = grid
+                .slot_ids()
+                .iter()
+                .map(|&li| {
+                    let r = vendors[members[li as usize]].radius;
+                    r * r
+                })
+                .collect();
+            let ids: Vec<VendorId> = grid
+                .slot_ids()
+                .iter()
+                .map(|&li| VendorId::from(members[li as usize]))
+                .collect();
             RadiusClass {
                 grid,
                 max_radius,
-                radii,
+                r2,
                 ids,
             }
         });
@@ -96,18 +114,15 @@ impl VendorIndex {
     /// appended to `out` (cleared first), in unspecified order.
     pub fn covering_into(&self, p: Point, out: &mut Vec<VendorId>) {
         out.clear();
-        let mut scratch = Vec::new();
         for class in &self.classes {
-            class
-                .grid
-                .range_query_into(p, class.max_radius, &mut scratch);
-            for &local in &scratch {
-                let li = local as usize;
-                let r = class.radii[li];
-                if class.grid.point(li).distance_sq(&p) <= r * r {
-                    out.push(class.ids[li]);
+            // A member's own radius never exceeds its class radius, so
+            // the exact predicate subsumes the class-radius prefilter
+            // the old nested-Vec path applied first.
+            class.grid.visit_candidate_slots(p, class.max_radius, |slot, d2| {
+                if d2 <= class.r2[slot] {
+                    out.push(class.ids[slot]);
                 }
-            }
+            });
         }
     }
 

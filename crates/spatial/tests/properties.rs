@@ -98,6 +98,172 @@ proptest! {
     }
 }
 
+/// The CSR / SoA grid layout (DESIGN.md §11) must reproduce the output
+/// *sequences* of the pre-CSR nested-`Vec` bucket layout — cells in
+/// row-major order, points in insertion order within a cell — not just
+/// the same sets. A reference implementation of the old layout lives in
+/// this module; a deterministic replica of the same property runs inside
+/// the crate's unit tests for registry-less environments.
+mod csr_equivalence {
+    use muaa_core::Point;
+    use muaa_spatial::GridIndex;
+    use proptest::prelude::*;
+
+    /// The old nested-Vec bucket grid: one `Vec<u32>` per cell, filled
+    /// sequentially in point order, queried row-major with the same
+    /// clamped cell arithmetic as `GridIndex`.
+    struct NestedVecGrid {
+        points: Vec<Point>,
+        buckets: Vec<Vec<u32>>,
+        cols: usize,
+        cell: f64,
+        min_x: f64,
+        min_y: f64,
+        rows: usize,
+    }
+
+    impl NestedVecGrid {
+        fn new(points: Vec<Point>, cell_size: f64) -> Self {
+            let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+            let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+            for p in &points {
+                min_x = min_x.min(p.x);
+                min_y = min_y.min(p.y);
+                max_x = max_x.max(p.x);
+                max_y = max_y.max(p.y);
+            }
+            if points.is_empty() {
+                (min_x, min_y, max_x, max_y) = (0.0, 0.0, 1.0, 1.0);
+            }
+            let width = (max_x - min_x).max(f64::MIN_POSITIVE);
+            let height = (max_y - min_y).max(f64::MIN_POSITIVE);
+            let mut cell = cell_size;
+            const MAX_CELLS: f64 = 4_000_000.0;
+            if (width / cell) * (height / cell) > MAX_CELLS {
+                cell = ((width * height) / MAX_CELLS).sqrt();
+            }
+            let cols = ((width / cell).ceil() as usize).max(1);
+            let rows = ((height / cell).ceil() as usize).max(1);
+            let mut buckets = vec![Vec::new(); cols * rows];
+            for (i, p) in points.iter().enumerate() {
+                let (cx, cy) = Self::cell_of(p, min_x, min_y, cell, cols, rows);
+                buckets[cy * cols + cx].push(i as u32);
+            }
+            NestedVecGrid {
+                points,
+                buckets,
+                cols,
+                cell,
+                min_x,
+                min_y,
+                rows,
+            }
+        }
+
+        fn cell_of(
+            p: &Point,
+            min_x: f64,
+            min_y: f64,
+            cell: f64,
+            cols: usize,
+            rows: usize,
+        ) -> (usize, usize) {
+            let cx = ((p.x - min_x) / cell).floor();
+            let cy = ((p.y - min_y) / cell).floor();
+            let cx = if cx.is_finite() && cx > 0.0 {
+                (cx as usize).min(cols - 1)
+            } else {
+                0
+            };
+            let cy = if cy.is_finite() && cy > 0.0 {
+                (cy as usize).min(rows - 1)
+            } else {
+                0
+            };
+            (cx, cy)
+        }
+
+        fn range_query(&self, center: Point, radius: f64) -> Vec<u32> {
+            let mut out = Vec::new();
+            if self.points.is_empty() || radius < 0.0 || radius.is_nan() {
+                return out;
+            }
+            let r2 = radius * radius;
+            let (lo_cx, lo_cy) = Self::cell_of(
+                &Point::new(center.x - radius, center.y - radius),
+                self.min_x,
+                self.min_y,
+                self.cell,
+                self.cols,
+                self.rows,
+            );
+            let (hi_cx, hi_cy) = Self::cell_of(
+                &Point::new(center.x + radius, center.y + radius),
+                self.min_x,
+                self.min_y,
+                self.cell,
+                self.cols,
+                self.rows,
+            );
+            for cy in lo_cy..=hi_cy {
+                for cx in lo_cx..=hi_cx {
+                    for &idx in &self.buckets[cy * self.cols + cx] {
+                        if self.points[idx as usize].distance_sq(&center) <= r2 {
+                            out.push(idx);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 0..150)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Exact hit sequences — order matters, duplicates included.
+        #[test]
+        fn csr_range_query_sequence_matches_nested_vec(
+            points in points_strategy(),
+            (qx, qy) in (-0.5..1.5f64, -0.5..1.5f64),
+            radius in 0.0..0.8f64,
+            cell in 0.001..0.5f64,
+        ) {
+            let csr = GridIndex::with_cell_size(points.clone(), cell);
+            let reference = NestedVecGrid::new(points, cell);
+            let q = Point::new(qx, qy);
+            prop_assert_eq!(csr.range_query(q, radius), reference.range_query(q, radius));
+        }
+
+        /// k-NN over the CSR layout stays correct (and identically
+        /// tie-broken) across arbitrary cell sizes: compare to a sorted
+        /// brute-force scan.
+        #[test]
+        fn csr_k_nearest_matches_brute_force_any_cell_size(
+            points in points_strategy(),
+            (qx, qy) in (-0.5..1.5f64, -0.5..1.5f64),
+            k in 0usize..15,
+            cell in 0.001..0.5f64,
+        ) {
+            let q = Point::new(qx, qy);
+            let csr = GridIndex::with_cell_size(points.clone(), cell);
+            let mut brute: Vec<(f64, u32)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.distance_sq(&q), i as u32))
+                .collect();
+            brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            let expect: Vec<u32> = brute.into_iter().take(k).map(|(_, i)| i).collect();
+            prop_assert_eq!(csr.k_nearest(q, k), expect);
+        }
+    }
+}
+
 mod kdtree_equivalence {
     use muaa_core::Point;
     use muaa_spatial::{GridIndex, KdTree};
