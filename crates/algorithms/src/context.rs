@@ -1,16 +1,27 @@
-//! [`SolverContext`]: the shared read-only state every solver runs
-//! against — instance, utility model, spatial indexes, and the
-//! zero-allocation candidate substrate (DESIGN.md §11): a CSR
-//! eligibility index answering "which customers can vendor j reach" /
-//! "which vendors cover customer i" as borrowed slices, plus flat
-//! structure-of-arrays Pearson moments feeding the batched pair-base
-//! kernel [`SolverContext::pair_base_block`].
+//! [`SolverContext`]: the shared state every solver runs against —
+//! instance, utility model, spatial indexes, and the zero-allocation
+//! candidate substrate (DESIGN.md §11): a CSR eligibility index
+//! answering "which customers can vendor j reach" / "which vendors
+//! cover customer i" as borrowed slices, plus flat structure-of-arrays
+//! Pearson moments feeding the batched pair-base kernel
+//! [`SolverContext::pair_base_block`].
+//!
+//! Since DESIGN.md §12 the context is an *epoch-based mutable engine*:
+//! [`SolverContext::apply_delta`] patches the instance (via
+//! clone-on-first-write), both spatial indexes, both CSR adjacency
+//! directions and exactly the touched rows of the pair-base memo —
+//! producing a context whose every solver output is bit-identical to a
+//! from-scratch build on the post-delta instance (the rebuild
+//! equivalence invariant, pinned by `tests/delta_equivalence.rs`).
+//! To make that invariant geometry-independent, eligibility rows are
+//! stored in *canonical ascending-id order*.
 
 use muaa_core::{
-    par, AdType, AdTypeId, Customer, CustomerId, Money, PearsonUtility, ProblemInstance,
-    UtilityModel, Vendor, VendorId,
+    par, AdType, AdTypeId, CoreError, Customer, CustomerId, Delta, DeltaBatch, Money,
+    PearsonUtility, ProblemInstance, UtilityModel, Vendor, VendorId,
 };
 use muaa_spatial::{GridIndex, VendorIndex};
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Largest (customers × vendors) product for which the dense pair-base
@@ -58,6 +69,10 @@ struct PairCache {
     memo: Option<Vec<AtomicU64>>,
     /// Row stride of `memo`.
     vendors: usize,
+    /// Cap (in pairs) the memo must fit under; persisted so incremental
+    /// customer adds/removes re-evaluate the allocation decision against
+    /// the *configured* cap, not the default.
+    cap_pairs: usize,
 }
 
 impl PairCache {
@@ -86,6 +101,7 @@ impl PairCache {
             swxx,
             memo: Self::alloc_memo(pairs, MEMO_MAX_PAIRS),
             vendors,
+            cap_pairs: MEMO_MAX_PAIRS,
         }
     }
 
@@ -93,40 +109,218 @@ impl PairCache {
         (0 < pairs && pairs <= max_pairs)
             .then(|| (0..pairs).map(|_| AtomicU64::new(MEMO_EMPTY)).collect())
     }
+
+    /// Number of customer rows in the moment tables.
+    fn customers(&self) -> usize {
+        self.sw.len()
+    }
+
+    /// Append one customer's moments (and, if the memo survives the cap
+    /// check at the new size, a row of empty memo slots).
+    fn push_customer(&mut self, pearson: &PearsonUtility, c: &Customer) {
+        let m = pearson.customer_moments(c);
+        self.weights.extend_from_slice(m.weights());
+        self.sw.push(m.sw());
+        self.swx.push(m.swx());
+        self.swxx.push(m.swxx());
+        let pairs = self.customers() * self.vendors;
+        match &mut self.memo {
+            // Growing within the cap: append an empty row.
+            Some(memo) if pairs <= self.cap_pairs => {
+                memo.extend((0..self.vendors).map(|_| AtomicU64::new(MEMO_EMPTY)));
+            }
+            // Crossed the cap (drops the memo) or was previously absent
+            // (e.g. zero customers — re-allocate if the new size fits).
+            _ => self.memo = Self::alloc_memo(pairs, self.cap_pairs),
+        }
+    }
+
+    /// Swap-remove customer row `i`, mirroring
+    /// [`Delta::RemoveCustomer`]'s id rename: the last row's moments and
+    /// memoized values move into row `i`.
+    fn swap_remove_customer(&mut self, i: usize) {
+        let last = self.customers() - 1;
+        if i != last && self.tags > 0 {
+            let (head, tail) = self.weights.split_at_mut(last * self.tags);
+            head[i * self.tags..(i + 1) * self.tags].copy_from_slice(&tail[..self.tags]);
+        }
+        self.weights.truncate(last * self.tags);
+        self.sw.swap_remove(i);
+        self.swx.swap_remove(i);
+        self.swxx.swap_remove(i);
+        let pairs = last * self.vendors;
+        match &mut self.memo {
+            Some(memo) => {
+                if pairs == 0 {
+                    self.memo = None;
+                } else {
+                    if i != last {
+                        for k in 0..self.vendors {
+                            let bits = memo[last * self.vendors + k].load(Ordering::Relaxed);
+                            memo[i * self.vendors + k].store(bits, Ordering::Relaxed);
+                        }
+                    }
+                    memo.truncate(pairs);
+                }
+            }
+            // Shrinking may bring an over-cap instance back under it.
+            None => self.memo = Self::alloc_memo(pairs, self.cap_pairs),
+        }
+    }
+
+    /// Reset customer row `i`'s memo slots to empty. Used on relocation:
+    /// moments depend only on interests and arrival, so they stay, but
+    /// every memoized pair base embeds the old distance.
+    fn invalidate_customer(&self, i: usize) {
+        if let Some(memo) = &self.memo {
+            for slot in &memo[i * self.vendors..(i + 1) * self.vendors] {
+                slot.store(MEMO_EMPTY, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
-/// Bidirectional vendor ↔ customer eligibility adjacency in CSR form
-/// (DESIGN.md §11): `ids[offsets[k] .. offsets[k+1]]` is entity `k`'s
-/// eligible-partner list. Built once at context construction — spatial
-/// pre-filter plus exact `pair_valid` check per pair — so solver inner
-/// loops borrow slices instead of re-running grid queries into fresh
-/// `Vec`s. Offsets are `u32`: the flattened pair count is asserted to
-/// fit (4 G pairs ≈ 32 GiB of ids — beyond any in-memory instance).
-struct EligibilityIndex {
-    /// Vendor → customers: `v2c_ids[v2c_off[j]..v2c_off[j+1]]`.
-    v2c_off: Vec<u32>,
-    v2c_ids: Vec<CustomerId>,
-    /// Customer → vendors: `c2v_ids[c2v_off[i]..c2v_off[i+1]]`.
-    c2v_off: Vec<u32>,
-    c2v_ids: Vec<VendorId>,
+/// One direction of the eligibility adjacency as a *span-arena* CSR
+/// (DESIGN.md §12): `spans[k] = (start, len)` points into the shared
+/// `ids` arena, and each row's ids are kept sorted ascending (the
+/// canonical order — geometry-independent, so incrementally patched
+/// rows match from-scratch builds element for element).
+///
+/// Unlike classic offset-array CSR, rows are independently replaceable:
+/// an element removal shifts in place within the span, an insertion or
+/// wholesale replacement appends a fresh copy of the row at the arena
+/// tail and repoints the span. Stale arena bytes are garbage-collected
+/// by compaction once they exceed the live size (amortized O(1) per
+/// update). Spans are `u32`: 4 G live pairs ≈ 32 GiB of ids — beyond
+/// any in-memory instance — and compaction keeps the arena within 2×
+/// live + slack.
+#[derive(Clone, Debug)]
+struct CsrDir<T> {
+    /// `(start, len)` into `ids`, one per row.
+    spans: Vec<(u32, u32)>,
+    ids: Vec<T>,
+    /// Total live elements (Σ span lens); the compaction trigger.
+    live: usize,
 }
 
-impl EligibilityIndex {
-    fn flatten<T: Copy>(lists: Vec<Vec<T>>) -> (Vec<u32>, Vec<T>) {
+impl<T> Default for CsrDir<T> {
+    fn default() -> Self {
+        CsrDir {
+            spans: Vec::new(),
+            ids: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T: Copy + Ord> CsrDir<T> {
+    /// Build from per-row lists, densely packed.
+    fn from_lists(lists: Vec<Vec<T>>) -> Self {
         let total: usize = lists.iter().map(Vec::len).sum();
         assert!(
             total <= u32::MAX as usize,
             "eligibility index exceeds u32 offset range"
         );
-        let mut off = Vec::with_capacity(lists.len() + 1);
+        let mut spans = Vec::with_capacity(lists.len());
         let mut ids = Vec::with_capacity(total);
-        off.push(0u32);
         for list in &lists {
+            spans.push((ids.len() as u32, list.len() as u32));
             ids.extend_from_slice(list);
-            off.push(ids.len() as u32);
         }
-        (off, ids)
+        CsrDir {
+            spans,
+            ids,
+            live: total,
+        }
     }
+
+    #[inline]
+    fn row(&self, k: usize) -> &[T] {
+        let (start, len) = self.spans[k];
+        &self.ids[start as usize..(start + len) as usize]
+    }
+
+    /// Replace row `k` with `new` (sorted), appending at the arena tail.
+    fn set_row(&mut self, k: usize, new: &[T]) {
+        self.live -= self.spans[k].1 as usize;
+        self.spans[k] = (self.ids.len() as u32, new.len() as u32);
+        self.ids.extend_from_slice(new);
+        self.live += new.len();
+        self.maybe_compact();
+    }
+
+    /// Append a new row holding `new` (sorted).
+    fn push_row(&mut self, new: &[T]) {
+        self.spans.push((self.ids.len() as u32, new.len() as u32));
+        self.ids.extend_from_slice(new);
+        self.live += new.len();
+        self.maybe_compact();
+    }
+
+    /// Swap-remove row `k`: the last row takes index `k`.
+    fn swap_remove_row(&mut self, k: usize) {
+        self.live -= self.spans[k].1 as usize;
+        self.spans.swap_remove(k);
+        self.maybe_compact();
+    }
+
+    /// Insert `id` into sorted row `k` (no-op if already present).
+    fn insert_sorted(&mut self, k: usize, id: T) {
+        let row = self.row(k);
+        let pos = match row.binary_search(&id) {
+            Ok(_) => return,
+            Err(pos) => pos,
+        };
+        // Rows are immovable in place (no spare capacity), so rebuild at
+        // the arena tail with the element spliced in.
+        let (start, len) = self.spans[k];
+        let new_start = self.ids.len();
+        self.ids.extend_from_within(start as usize..start as usize + pos);
+        self.ids.push(id);
+        self.ids
+            .extend_from_within(start as usize + pos..(start + len) as usize);
+        self.spans[k] = (new_start as u32, len + 1);
+        self.live += 1;
+        self.maybe_compact();
+    }
+
+    /// Remove `id` from sorted row `k` (no-op if absent). In-place:
+    /// shifts the span's tail left, no arena growth.
+    fn remove_sorted(&mut self, k: usize, id: T) {
+        let (start, len) = self.spans[k];
+        let row = &self.ids[start as usize..(start + len) as usize];
+        let Ok(pos) = row.binary_search(&id) else {
+            return;
+        };
+        self.ids
+            .copy_within(start as usize + pos + 1..(start + len) as usize, start as usize + pos);
+        self.spans[k] = (start, len - 1);
+        self.live -= 1;
+    }
+
+    /// Repack rows densely once garbage exceeds the live size.
+    fn maybe_compact(&mut self) {
+        if self.ids.len() <= 2 * self.live + 64 {
+            return;
+        }
+        let mut ids = Vec::with_capacity(self.live);
+        for span in &mut self.spans {
+            let (start, len) = *span;
+            *span = (ids.len() as u32, len);
+            ids.extend_from_slice(&self.ids[start as usize..(start + len) as usize]);
+        }
+        self.ids = ids;
+    }
+}
+
+/// Bidirectional vendor ↔ customer eligibility adjacency: one [`CsrDir`]
+/// per direction, rows sorted ascending by id.
+#[derive(Default)]
+struct EligibilityIndex {
+    /// Vendor → eligible customers.
+    v2c: CsrDir<CustomerId>,
+    /// Customer → eligible (covering) vendors.
+    c2v: CsrDir<VendorId>,
 }
 
 /// Read-only solver state: the problem instance, the utility model, and
@@ -149,7 +343,9 @@ impl EligibilityIndex {
 /// [`eligible_vendors`](Self::eligible_vendors) are O(1) slice borrows
 /// in every solver inner loop.
 pub struct SolverContext<'a> {
-    instance: &'a ProblemInstance,
+    /// Borrowed until the first [`apply_delta`](Self::apply_delta),
+    /// which clones the instance so deltas mutate a private copy.
+    instance: Cow<'a, ProblemInstance>,
     model: &'a dyn UtilityModel,
     customer_grid: Option<GridIndex>,
     vendor_index: Option<VendorIndex>,
@@ -179,18 +375,13 @@ impl<'a> SolverContext<'a> {
             || pearson.map(|p| PairCache::build(instance, p)),
         );
         let mut ctx = SolverContext {
-            instance,
+            instance: Cow::Borrowed(instance),
             model,
             customer_grid: Some(indexes.0),
             vendor_index: Some(indexes.1),
             pearson,
             cache,
-            eligibility: EligibilityIndex {
-                v2c_off: Vec::new(),
-                v2c_ids: Vec::new(),
-                c2v_off: Vec::new(),
-                c2v_ids: Vec::new(),
-            },
+            eligibility: EligibilityIndex::default(),
         };
         ctx.eligibility = ctx.build_eligibility();
         ctx
@@ -203,28 +394,23 @@ impl<'a> SolverContext<'a> {
     pub fn brute_force(instance: &'a ProblemInstance, model: &'a dyn UtilityModel) -> Self {
         let pearson = model.as_pearson();
         let mut ctx = SolverContext {
-            instance,
+            instance: Cow::Borrowed(instance),
             model,
             customer_grid: None,
             vendor_index: None,
             pearson,
             cache: pearson.map(|p| PairCache::build(instance, p)),
-            eligibility: EligibilityIndex {
-                v2c_off: Vec::new(),
-                v2c_ids: Vec::new(),
-                c2v_off: Vec::new(),
-                c2v_ids: Vec::new(),
-            },
+            eligibility: EligibilityIndex::default(),
         };
         ctx.eligibility = ctx.build_eligibility();
         ctx
     }
 
-    /// Run the per-entity validity scans once, in parallel, and flatten
-    /// into the CSR [`EligibilityIndex`]. Lists keep exactly the order
-    /// the per-call scans produced (grid slot order when indexed, id
-    /// order when brute-force), so slice consumers see byte-identical
-    /// candidate sequences to the old query-per-call path.
+    /// Run the per-entity validity scans once, in parallel, and pack
+    /// into the span-arena [`EligibilityIndex`]. Every row comes out of
+    /// the scans in canonical ascending-id order, so incrementally
+    /// patched contexts and from-scratch builds expose identical
+    /// candidate sequences regardless of grid geometry.
     fn build_eligibility(&self) -> EligibilityIndex {
         let (per_vendor, per_customer) = par::join(
             || {
@@ -238,13 +424,9 @@ impl<'a> SolverContext<'a> {
                 })
             },
         );
-        let (v2c_off, v2c_ids) = EligibilityIndex::flatten(per_vendor);
-        let (c2v_off, c2v_ids) = EligibilityIndex::flatten(per_customer);
         EligibilityIndex {
-            v2c_off,
-            v2c_ids,
-            c2v_off,
-            c2v_ids,
+            v2c: CsrDir::from_lists(per_vendor),
+            c2v: CsrDir::from_lists(per_customer),
         }
     }
 
@@ -262,8 +444,14 @@ impl<'a> SolverContext<'a> {
     /// the instance's full (customers × vendors) table fits: each entry
     /// is one 8-byte atomic. `0` disables memoization entirely — pairs
     /// still go through the fused-moment fast path, so values are
-    /// unchanged, just recomputed per call. Any already-memoized values
-    /// are discarded (the memo restarts cold). No-op for non-Pearson
+    /// unchanged, just recomputed per call. A cap too small to hold even
+    /// **one customer row** is clamped to zero-memo mode: the memo grows
+    /// a whole row per customer add, so a sub-row cap could never admit
+    /// a non-empty table and would otherwise sit in a dead zone where
+    /// rounding (`bytes / 8`) silently behaves like `0` only for *some*
+    /// instance shapes. Any already-memoized values are discarded (the
+    /// memo restarts cold). The cap persists across
+    /// [`apply_delta`](Self::apply_delta) calls. No-op for non-Pearson
     /// models, which have no cache.
     pub fn with_pair_cache_cap(mut self, bytes: usize) -> Self {
         if let Some(cache) = &mut self.cache {
@@ -272,7 +460,11 @@ impl<'a> SolverContext<'a> {
                 .customers()
                 .len()
                 .saturating_mul(cache.vendors);
-            let max_pairs = bytes / std::mem::size_of::<AtomicU64>();
+            let mut max_pairs = bytes / std::mem::size_of::<AtomicU64>();
+            if max_pairs < cache.vendors {
+                max_pairs = 0;
+            }
+            cache.cap_pairs = max_pairs;
             cache.memo = PairCache::alloc_memo(pairs, max_pairs);
         }
         self
@@ -283,10 +475,18 @@ impl<'a> SolverContext<'a> {
         self.cache.is_some()
     }
 
-    /// The problem instance.
+    /// The problem instance (the post-delta copy once
+    /// [`apply_delta`](Self::apply_delta) has run).
     #[inline]
-    pub fn instance(&self) -> &'a ProblemInstance {
-        self.instance
+    pub fn instance(&self) -> &ProblemInstance {
+        &self.instance
+    }
+
+    /// The instance epoch: bumped once per applied delta, `0` for a
+    /// freshly built context on an unmutated instance.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.instance.epoch()
     }
 
     /// The utility model.
@@ -304,22 +504,20 @@ impl<'a> SolverContext<'a> {
     }
 
     /// The valid customers `U_j` of a vendor (paper Alg. 1 line 3), as
-    /// a borrowed slice of the precomputed eligibility CSR. The hot
-    /// accessor: no allocation, no spatial query.
+    /// a borrowed slice of the precomputed eligibility CSR, sorted
+    /// ascending by id. The hot accessor: no allocation, no spatial
+    /// query.
     #[inline]
     pub fn eligible_customers(&self, vid: VendorId) -> &[CustomerId] {
-        let e = &self.eligibility;
-        let j = vid.index();
-        &e.v2c_ids[e.v2c_off[j] as usize..e.v2c_off[j + 1] as usize]
+        self.eligibility.v2c.row(vid.index())
     }
 
     /// The valid vendors `V'` of a customer (paper Alg. 2 line 2), as a
-    /// borrowed slice of the precomputed eligibility CSR.
+    /// borrowed slice of the precomputed eligibility CSR, sorted
+    /// ascending by id.
     #[inline]
     pub fn eligible_vendors(&self, cid: CustomerId) -> &[VendorId] {
-        let e = &self.eligibility;
-        let i = cid.index();
-        &e.c2v_ids[e.c2v_off[i] as usize..e.c2v_off[i + 1] as usize]
+        self.eligibility.c2v.row(cid.index())
     }
 
     /// Owned copy of [`eligible_customers`](Self::eligible_customers),
@@ -336,18 +534,24 @@ impl<'a> SolverContext<'a> {
     }
 
     /// Compute a vendor's valid-customer list from scratch (spatial
-    /// pre-filter + exact check). Used once per vendor to build the
-    /// eligibility CSR; solvers read [`eligible_customers`] instead.
+    /// pre-filter + exact check), in canonical ascending-id order. Used
+    /// per vendor to build the eligibility CSR and to recompute rows
+    /// touched by deltas; solvers read [`eligible_customers`] instead.
     fn valid_customers_scan(&self, vid: VendorId) -> Vec<CustomerId> {
         let v = self.instance.vendor(vid);
         match &self.customer_grid {
             Some(grid) => {
                 let mut pre = Vec::new();
                 grid.range_query_into(v.location, v.radius, &mut pre);
-                pre.into_iter()
+                let mut out: Vec<CustomerId> = pre
+                    .into_iter()
                     .map(CustomerId::from)
                     .filter(|&cid| self.pair_valid(cid, vid))
-                    .collect()
+                    .collect();
+                // Grid emission order depends on cell geometry; sorting
+                // makes the row canonical (and thus delta-invariant).
+                out.sort_unstable();
+                out
             }
             None => self
                 .instance
@@ -358,9 +562,10 @@ impl<'a> SolverContext<'a> {
         }
     }
 
-    /// Compute a customer's valid-vendor list from scratch. Used once
-    /// per customer to build the eligibility CSR; solvers read
-    /// [`eligible_vendors`] instead.
+    /// Compute a customer's valid-vendor list from scratch, in
+    /// canonical ascending-id order. Used per customer to build the
+    /// eligibility CSR and to recompute rows touched by deltas; solvers
+    /// read [`eligible_vendors`] instead.
     fn valid_vendors_scan(&self, cid: CustomerId) -> Vec<VendorId> {
         let c = self.instance.customer(cid);
         match &self.vendor_index {
@@ -368,6 +573,7 @@ impl<'a> SolverContext<'a> {
                 let mut pre = Vec::new();
                 index.covering_into(c.location, &mut pre);
                 pre.retain(|&vid| self.pair_valid(cid, vid));
+                pre.sort_unstable();
                 pre
             }
             None => self
@@ -593,20 +799,177 @@ impl<'a> SolverContext<'a> {
 
     /// Convenience accessors mirroring the instance's.
     #[inline]
-    pub fn customer(&self, cid: CustomerId) -> &'a Customer {
+    pub fn customer(&self, cid: CustomerId) -> &Customer {
         self.instance.customer(cid)
     }
 
     /// Vendor lookup.
     #[inline]
-    pub fn vendor(&self, vid: VendorId) -> &'a Vendor {
+    pub fn vendor(&self, vid: VendorId) -> &Vendor {
         self.instance.vendor(vid)
     }
 
     /// Ad-type lookup.
     #[inline]
-    pub fn ad_type(&self, tid: AdTypeId) -> &'a AdType {
+    pub fn ad_type(&self, tid: AdTypeId) -> &AdType {
         self.instance.ad_type(tid)
+    }
+
+    /// Apply a batch of [`Delta`]s to this context: the instance (via
+    /// clone-on-first-write), the spatial indexes, both CSR adjacency
+    /// directions and the touched pair-base memo rows are all patched
+    /// incrementally — no rebuild. After a successful return, every
+    /// query and solver result on this context is **bit-identical** to
+    /// one from a [`SolverContext`] built from scratch on the post-delta
+    /// instance (DESIGN.md §12), at a cost proportional to the touched
+    /// neighborhoods instead of the whole instance.
+    ///
+    /// Deltas apply front to back; on the first invalid delta an error
+    /// is returned and the valid prefix stays applied (matching
+    /// [`ProblemInstance::apply_delta`]), so the context remains
+    /// consistent either way. Each applied delta bumps the epoch.
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<(), CoreError> {
+        for delta in batch {
+            self.apply(delta)?;
+        }
+        Ok(())
+    }
+
+    /// Apply a single delta: instance first (validation + epoch), then
+    /// index/CSR/memo maintenance keyed on what the delta can change.
+    /// Same contract as [`apply_delta`](Self::apply_delta) for a
+    /// one-delta batch; streaming layers that must interleave their own
+    /// per-delta bookkeeping (e.g. `BrokerSession`) call this directly.
+    pub fn apply(&mut self, delta: &Delta) -> Result<(), CoreError> {
+        // Pre-state the patching needs: CSR rows about to be renamed.
+        let pre = match delta {
+            Delta::RemoveCustomer(cid) if cid.index() < self.instance.num_customers() => {
+                let last = self.instance.num_customers() - 1;
+                Some((
+                    self.eligibility.c2v.row(cid.index()).to_vec(),
+                    self.eligibility.c2v.row(last).to_vec(),
+                ))
+            }
+            Delta::MoveCustomer(cid, _) if cid.index() < self.instance.num_customers() => {
+                Some((self.eligibility.c2v.row(cid.index()).to_vec(), Vec::new()))
+            }
+            _ => None,
+        };
+        self.instance.to_mut().apply(delta)?;
+        match delta {
+            Delta::AddCustomer(_) => {
+                let cid = CustomerId::from(self.instance.num_customers() - 1);
+                let c = self.instance.customer(cid).clone();
+                if let Some(grid) = &mut self.customer_grid {
+                    let local = grid.insert(c.location);
+                    debug_assert_eq!(local as usize, cid.index());
+                }
+                if let (Some(cache), Some(pearson)) = (&mut self.cache, self.pearson) {
+                    cache.push_customer(pearson, &c);
+                }
+                let row = self.valid_vendors_scan(cid);
+                for &vid in &row {
+                    self.eligibility.v2c.insert_sorted(vid.index(), cid);
+                }
+                self.eligibility.c2v.push_row(&row);
+            }
+            Delta::RemoveCustomer(cid) => {
+                let (row_cid, row_last) = pre.expect("validated remove captures rows");
+                // Post-apply, `last` is the id the renamed customer held.
+                let last = self.instance.num_customers();
+                if let Some(grid) = &mut self.customer_grid {
+                    grid.swap_remove(cid.index() as u32);
+                }
+                if let Some(cache) = &mut self.cache {
+                    cache.swap_remove_customer(cid.index());
+                }
+                for &vid in &row_cid {
+                    self.eligibility.v2c.remove_sorted(vid.index(), *cid);
+                }
+                if cid.index() != last {
+                    // The former last customer now answers to `cid`.
+                    let old_id = CustomerId::from(last);
+                    for &vid in &row_last {
+                        self.eligibility.v2c.remove_sorted(vid.index(), old_id);
+                        self.eligibility.v2c.insert_sorted(vid.index(), *cid);
+                    }
+                }
+                self.eligibility.c2v.swap_remove_row(cid.index());
+            }
+            Delta::MoveCustomer(cid, to) => {
+                let (old_row, _) = pre.expect("validated move captures row");
+                if let Some(grid) = &mut self.customer_grid {
+                    grid.relocate(cid.index() as u32, *to);
+                }
+                if let Some(cache) = &self.cache {
+                    // Moments depend only on interests and arrival; only
+                    // the memoized distances are stale.
+                    cache.invalidate_customer(cid.index());
+                }
+                let new_row = self.valid_vendors_scan(*cid);
+                diff_sorted(&old_row, &new_row, |vid, gained| {
+                    if gained {
+                        self.eligibility.v2c.insert_sorted(vid.index(), *cid);
+                    } else {
+                        self.eligibility.v2c.remove_sorted(vid.index(), *cid);
+                    }
+                });
+                self.eligibility.c2v.set_row(cid.index(), &new_row);
+            }
+            Delta::VendorRadius(vid, radius) => {
+                let old_row = self.eligibility.v2c.row(vid.index()).to_vec();
+                if let Some(index) = &mut self.vendor_index {
+                    index.set_radius(*vid, *radius);
+                }
+                // Pair bases exclude the radius, so the memo is clean;
+                // only eligibility shifts.
+                let new_row = self.valid_customers_scan(*vid);
+                diff_sorted(&old_row, &new_row, |cid, gained| {
+                    if gained {
+                        self.eligibility.c2v.insert_sorted(cid.index(), *vid);
+                    } else {
+                        self.eligibility.c2v.remove_sorted(cid.index(), *vid);
+                    }
+                });
+                self.eligibility.v2c.set_row(vid.index(), &new_row);
+            }
+            // Budgets and ad types sit outside every index: eligibility
+            // is geometric, pair bases exclude the ad factor, and both
+            // are read from the (already updated) instance at use time.
+            Delta::VendorBudget(..) | Delta::AdType(..) => {}
+        }
+        Ok(())
+    }
+}
+
+/// Walk two sorted id lists and report each id present in exactly one:
+/// `f(id, true)` for ids gained by `new`, `f(id, false)` for ids lost.
+fn diff_sorted<T: Copy + Ord>(old: &[T], new: &[T], mut f: impl FnMut(T, bool)) {
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some(&a), Some(&b)) if a == b => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&a), Some(&b)) if a < b => {
+                f(a, false);
+                i += 1;
+            }
+            (Some(_), Some(&b)) => {
+                f(b, true);
+                j += 1;
+            }
+            (Some(&a), None) => {
+                f(a, false);
+                i += 1;
+            }
+            (None, Some(&b)) => {
+                f(b, true);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
     }
 }
 
@@ -920,6 +1283,179 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A customer compatible with `synthetic_instance` (4 tags).
+    fn delta_customer(k: usize) -> Customer {
+        let frac = |m: f64| (k as f64 * m) % 1.0;
+        Customer {
+            location: Point::new(frac(0.414_213_562), frac(0.732_050_807)),
+            capacity: 1 + (k % 3) as u32,
+            view_probability: 0.1 + 0.8 * frac(0.23),
+            interests: TagVector::new((0..4).map(|t| ((k + t) as f64 * 0.37) % 1.0).collect())
+                .unwrap(),
+            arrival: Timestamp::from_hours(frac(0.11) * 24.0),
+        }
+    }
+
+    /// Every externally observable surface of `ctx` must match `fresh`
+    /// exactly: eligibility rows element-for-element and pair bases to
+    /// the bit. This is the rebuild-equivalence invariant (DESIGN.md
+    /// §12) at the context level; solver-level equivalence is pinned in
+    /// `tests/delta_equivalence.rs`.
+    fn assert_rebuild_equivalent(ctx: &SolverContext, fresh: &SolverContext) {
+        let inst = ctx.instance();
+        for (vid, _) in inst.vendors_enumerated() {
+            assert_eq!(
+                ctx.eligible_customers(vid),
+                fresh.eligible_customers(vid),
+                "vendor {vid} eligibility row"
+            );
+        }
+        for (cid, _) in inst.customers_enumerated() {
+            assert_eq!(
+                ctx.eligible_vendors(cid),
+                fresh.eligible_vendors(cid),
+                "customer {cid} eligibility row"
+            );
+            for (vid, _) in inst.vendors_enumerated() {
+                assert_eq!(
+                    ctx.pair_base(cid, vid).to_bits(),
+                    fresh.pair_base(cid, vid).to_bits(),
+                    "pair ({cid}, {vid})"
+                );
+            }
+        }
+    }
+
+    /// Deterministic replica of the delta-equivalence property (the
+    /// proptest version lives in `tests/delta_equivalence.rs`): after
+    /// every batch, the incrementally patched context matches a
+    /// from-scratch build on its post-delta instance, in both
+    /// construction modes.
+    #[test]
+    fn apply_delta_matches_fresh_context() {
+        let inst = synthetic_instance(80, 12);
+        let model = PearsonUtility::uniform(4);
+        let mut ctx = SolverContext::indexed(&inst, &model);
+        let mut brute = SolverContext::brute_force(&inst, &model);
+
+        let batches = [
+            // Movement and vendor churn.
+            DeltaBatch::new()
+                .move_customer(CustomerId::new(3), Point::new(0.9, 0.05))
+                .move_customer(CustomerId::new(77), Point::new(0.01, 0.99))
+                .vendor_radius(VendorId::new(0), 0.3)
+                .vendor_radius(VendorId::new(5), 0.0)
+                .vendor_budget(VendorId::new(2), Money::from_dollars(11.0)),
+            // Arrivals and departures (swap-remove renames), repricing.
+            DeltaBatch::new()
+                .add_customer(delta_customer(500))
+                .add_customer(delta_customer(501))
+                .remove_customer(CustomerId::new(0))
+                .remove_customer(CustomerId::new(40))
+                .ad_type(
+                    AdTypeId::new(0),
+                    AdType::new("TL", Money::from_dollars(0.5), 0.3),
+                ),
+            // Remove the last customer, move a renamed one, grow a
+            // radius far past its class.
+            DeltaBatch::new()
+                .remove_customer(CustomerId::new(79))
+                .move_customer(CustomerId::new(40), Point::new(0.5, 0.5))
+                .vendor_radius(VendorId::new(5), 0.9),
+        ];
+        let mut applied = 0u64;
+        for batch in &batches {
+            ctx.apply_delta(batch).unwrap();
+            brute.apply_delta(batch).unwrap();
+            applied += batch.len() as u64;
+            assert_eq!(ctx.epoch(), applied);
+            let fresh = SolverContext::indexed(ctx.instance(), &model);
+            assert_rebuild_equivalent(&ctx, &fresh);
+            let fresh_brute = SolverContext::brute_force(brute.instance(), &model);
+            assert_rebuild_equivalent(&brute, &fresh_brute);
+        }
+        // The original instance is untouched (clone-on-write).
+        assert_eq!(inst.num_customers(), 80);
+        assert_eq!(inst.epoch(), 0);
+    }
+
+    /// A failing delta mid-batch keeps the valid prefix applied and the
+    /// context consistent with a fresh build on its (prefix-mutated)
+    /// instance.
+    #[test]
+    fn apply_delta_failure_leaves_consistent_prefix() {
+        let inst = synthetic_instance(20, 5);
+        let model = PearsonUtility::uniform(4);
+        let mut ctx = SolverContext::indexed(&inst, &model);
+        let batch = DeltaBatch::new()
+            .move_customer(CustomerId::new(1), Point::new(0.2, 0.2))
+            .vendor_radius(VendorId::new(0), -1.0) // invalid
+            .remove_customer(CustomerId::new(2));
+        assert!(ctx.apply_delta(&batch).is_err());
+        assert_eq!(ctx.epoch(), 1, "only the valid prefix applied");
+        assert_eq!(ctx.instance().num_customers(), 20);
+        let fresh = SolverContext::indexed(ctx.instance(), &model);
+        assert_rebuild_equivalent(&ctx, &fresh);
+    }
+
+    /// Regression (ISSUE 3 satellite): a cap smaller than one customer
+    /// row (vendors × 8 bytes) clamps to zero-memo mode instead of
+    /// leaving a memo that could never admit a single row.
+    #[test]
+    fn sub_row_pair_cache_cap_clamps_to_zero_memo() {
+        let inst = make_instance(); // 2 vendors → row = 16 bytes
+        let model = PearsonUtility::uniform(2);
+        let ctx = SolverContext::indexed(&inst, &model).with_pair_cache_cap(8);
+        let cache = ctx.cache.as_ref().unwrap();
+        assert_eq!(cache.cap_pairs, 0, "sub-row cap must clamp to zero");
+        assert!(cache.memo.is_none());
+        // Values still come out of the fused path unchanged.
+        let reference = SolverContext::indexed(&inst, &model);
+        for (cid, _) in inst.customers_enumerated() {
+            for (vid, _) in inst.vendors_enumerated() {
+                assert_eq!(
+                    ctx.pair_base(cid, vid).to_bits(),
+                    reference.pair_base(cid, vid).to_bits()
+                );
+            }
+        }
+    }
+
+    /// The persisted cap governs memo allocation as deltas grow and
+    /// shrink the instance: adds past the cap drop the memo, removals
+    /// back under it re-allocate (cold).
+    #[test]
+    fn pair_cache_cap_persists_across_deltas() {
+        let inst = make_instance(); // 2 customers × 2 vendors
+        let model = PearsonUtility::uniform(2);
+        // Cap of 3 rows = 6 pairs = 48 bytes.
+        let mut ctx = SolverContext::indexed(&inst, &model).with_pair_cache_cap(48);
+        assert!(ctx.cache.as_ref().unwrap().memo.is_some());
+
+        let two_tags = |k: usize| Customer {
+            location: Point::new(0.4 + 0.01 * k as f64, 0.5),
+            capacity: 1,
+            view_probability: 0.5,
+            interests: TagVector::new(vec![0.5, 0.5]).unwrap(),
+            arrival: Timestamp::MIDNIGHT,
+        };
+        // 3 customers: 6 pairs, still within cap.
+        ctx.apply_delta(&DeltaBatch::new().add_customer(two_tags(0)))
+            .unwrap();
+        assert!(ctx.cache.as_ref().unwrap().memo.is_some());
+        // 4 customers: 8 pairs, over the cap — memo drops.
+        ctx.apply_delta(&DeltaBatch::new().add_customer(two_tags(1)))
+            .unwrap();
+        assert!(ctx.cache.as_ref().unwrap().memo.is_none());
+        // Back to 3: re-allocated under the persisted cap.
+        ctx.apply_delta(&DeltaBatch::new().remove_customer(CustomerId::new(0)))
+            .unwrap();
+        assert!(ctx.cache.as_ref().unwrap().memo.is_some());
+        // And the patched context still matches a fresh build.
+        let fresh = SolverContext::indexed(ctx.instance(), &model);
+        assert_rebuild_equivalent(&ctx, &fresh);
     }
 
     #[test]

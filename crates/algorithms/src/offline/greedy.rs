@@ -88,7 +88,13 @@ impl OfflineSolver for Greedy {
         // comparator, and `Equal`-on-NaN breaks transitivity. For the
         // finite positive gammas of real models the two orders agree
         // exactly (total order matches `<` on same-sign finite floats).
-        candidates.sort_by(|a, b| {
+        //
+        // `par_sort_by` is a stable parallel merge sort producing the
+        // identical permutation to `sort_by` for any thread count (and
+        // falling back to it below its run threshold), so the global
+        // candidate order — and therefore the sweep — stays
+        // byte-identical between feature configurations.
+        muaa_core::par::par_sort_by(&mut candidates, |a, b| {
             b.gamma
                 .total_cmp(&a.gamma)
                 .then(a.customer.cmp(&b.customer))
@@ -305,6 +311,24 @@ mod tests {
             .assignments()
             .iter()
             .any(|asg| asg.customer.index() % 2 == 1));
+    }
+
+    /// The global candidate order must be thread-count invariant: a run
+    /// big enough to engage `par_sort_by`'s parallel merge path (above
+    /// its 4096-element run threshold) commits the exact assignment
+    /// sequence of a forced-sequential run.
+    #[test]
+    fn parallel_candidate_sort_matches_sequential() {
+        let inst = instance(600, 20, 4.0);
+        let model = PearsonUtility::uniform(3);
+        let ctx = SolverContext::indexed(&inst, &model);
+        assert!(
+            collect_candidates(&ctx).len() > 4096,
+            "instance too small to exercise the parallel sort path"
+        );
+        let parallel = Greedy.assign(&ctx);
+        let sequential = muaa_core::par::with_sequential(|| Greedy.assign(&ctx));
+        assert_eq!(parallel.assignments(), sequential.assignments());
     }
 
     #[test]

@@ -57,10 +57,11 @@ pub fn estimate_gamma_bounds(
     while gammas.len() < samples && attempts < max_attempts {
         attempts += 1;
         let cid = muaa_core::CustomerId::from(rng.gen_range(0..inst.num_customers()));
-        // The context's precomputed CSR slice — same list and order the
-        // per-draw query (and the HashMap memo that replaced it) used to
-        // produce, so the RNG stream and every sampled quantity are
-        // unchanged.
+        // The context's precomputed CSR slice, in canonical ascending-id
+        // order (DESIGN.md §12). The RNG draw below indexes into this
+        // list, so the canonical order is what keeps the sampled stream
+        // — and therefore γ_min/g — identical between a fresh build and
+        // an incrementally patched context.
         let vendors = ctx.eligible_vendors(cid);
         if vendors.is_empty() {
             continue;

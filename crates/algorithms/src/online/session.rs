@@ -9,13 +9,24 @@
 //! can verify the paper's responsiveness claim ("ONLINE can respond to
 //! each incoming customer ... in less than 1 second even when there
 //! are 20K vendors").
+//!
+//! Since DESIGN.md §12 the session is *dynamic*: the world may change
+//! between arrivals. [`BrokerSession::apply_delta`] streams
+//! [`Delta`]s — new customers, departures, relocations, vendor
+//! budget/radius updates, ad-type repricing — straight into the
+//! context's incremental engine ([`SolverContext::apply_delta`]), and
+//! [`BrokerSession::serve_arrival`] is the O-AFA arrival path on top of
+//! it: one `AddCustomer` delta plus one serve, never an index rebuild.
 
 use crate::context::SolverContext;
 use crate::online::estimate::estimate_gamma_bounds;
 use crate::online::oafa::OAfa;
 use crate::online::threshold::ThresholdFn;
 use crate::online::OnlineSolver;
-use muaa_core::{Assignment, AssignmentSet, CustomerId, Money, ProblemInstance, UtilityModel};
+use muaa_core::{
+    Assignment, AssignmentSet, CoreError, Customer, CustomerId, Delta, DeltaBatch, Money,
+    ProblemInstance, UtilityModel,
+};
 use std::time::{Duration, Instant};
 
 /// Latency statistics over the arrivals served so far.
@@ -113,6 +124,62 @@ impl<'a> BrokerSession<'a> {
             latency: LatencyStats::default(),
             served: vec![false; instance.num_customers()],
         }
+    }
+
+    /// Stream world changes into the live session: the context's
+    /// indexes are patched incrementally (no rebuild) and the solver
+    /// state is re-keyed in lockstep. Deltas apply front to back; on
+    /// the first failure the valid prefix stays applied and the session
+    /// remains consistent.
+    ///
+    /// Session-level restriction on top of
+    /// [`SolverContext::apply_delta`]: a customer who already received
+    /// ads cannot be removed (their committed assignments must stay
+    /// addressable). The swap-renamed former *last* customer keeps its
+    /// assignments and served flag under its new id.
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<(), CoreError> {
+        for delta in batch {
+            match delta {
+                Delta::AddCustomer(_) => {
+                    self.ctx.apply(delta)?;
+                    self.state.on_customer_added();
+                    self.served.push(false);
+                }
+                Delta::RemoveCustomer(cid) => {
+                    if cid.index() < self.served.len() && self.state.customer_load(*cid) > 0 {
+                        return Err(CoreError::InvalidCustomer {
+                            id: *cid,
+                            reason: "cannot remove a customer with committed assignments"
+                                .to_string(),
+                        });
+                    }
+                    self.ctx.apply(delta)?;
+                    let rekeyed = self.state.on_customer_swap_removed(*cid);
+                    debug_assert!(rekeyed, "load checked before apply");
+                    self.served.swap_remove(cid.index());
+                }
+                _ => self.ctx.apply(delta)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// The O-AFA arrival path on deltas: register a brand-new customer
+    /// (one `AddCustomer` delta through the incremental engine) and
+    /// immediately serve them. Returns the id the customer received and
+    /// the committed ads.
+    pub fn serve_arrival(
+        &mut self,
+        customer: Customer,
+    ) -> Result<(CustomerId, Vec<Assignment>), CoreError> {
+        self.apply_delta(&DeltaBatch::new().add_customer(customer))?;
+        let cid = CustomerId::from(self.ctx.instance().num_customers() - 1);
+        Ok((cid, self.serve(cid)))
+    }
+
+    /// The session's instance epoch: one bump per applied delta.
+    pub fn epoch(&self) -> u64 {
+        self.ctx.epoch()
     }
 
     /// Serve an arriving customer: decide and commit their ads.
@@ -249,6 +316,86 @@ mod tests {
             assert!(now <= prev);
             prev = now;
         }
+    }
+
+    fn arrival(i: usize) -> Customer {
+        Customer {
+            location: Point::new(0.45 + 0.01 * (i % 10) as f64, 0.5),
+            capacity: 2,
+            view_probability: 0.4,
+            interests: TagVector::new(vec![0.9, 0.3]).unwrap(),
+            arrival: Timestamp::from_hours(i as f64 * 0.1),
+        }
+    }
+
+    /// The delta-driven arrival path must reproduce the static replay:
+    /// a session seeded with only the first arrivals and fed the rest
+    /// through `serve_arrival` commits exactly the assignments of a
+    /// session built over the full instance up front.
+    #[test]
+    fn dynamic_arrivals_match_static_session() {
+        let full = instance(12);
+        let prefix = instance(4);
+        let model = PearsonUtility::uniform(2);
+
+        let mut static_session =
+            BrokerSession::with_threshold(&full, &model, ThresholdFn::Disabled);
+        static_session.serve_remaining();
+
+        let mut dynamic = BrokerSession::with_threshold(&prefix, &model, ThresholdFn::Disabled);
+        for i in 0..4usize {
+            dynamic.serve(CustomerId::from(i));
+        }
+        for i in 4..12 {
+            let (cid, _) = dynamic.serve_arrival(arrival(i)).unwrap();
+            assert_eq!(cid, CustomerId::from(i));
+        }
+        assert_eq!(dynamic.epoch(), 8);
+        assert_eq!(
+            dynamic.assignments().assignments(),
+            static_session.assignments().assignments()
+        );
+        let report = dynamic
+            .assignments()
+            .check_feasibility(dynamic.context().instance(), &model);
+        assert!(report.is_feasible());
+    }
+
+    /// Mid-session world changes flow through the incremental engine
+    /// and keep the session consistent; removing an ad-carrying
+    /// customer is refused.
+    #[test]
+    fn mid_session_deltas_and_removal_guard() {
+        let inst = instance(6);
+        let model = PearsonUtility::uniform(2);
+        let mut session = BrokerSession::with_threshold(&inst, &model, ThresholdFn::Disabled);
+        let ads = session.serve(CustomerId::new(0));
+        assert!(!ads.is_empty());
+        // Served customers with committed ads cannot be removed...
+        let err = session.apply_delta(
+            &muaa_core::DeltaBatch::new().remove_customer(CustomerId::new(0)),
+        );
+        assert!(err.is_err());
+        // ...but unserved ones can, and vendor updates stream through.
+        session
+            .apply_delta(
+                &muaa_core::DeltaBatch::new()
+                    .remove_customer(CustomerId::new(5))
+                    .vendor_budget(VendorId::new(0), Money::from_dollars(1.0))
+                    .vendor_radius(VendorId::new(1), 0.1),
+            )
+            .unwrap();
+        assert_eq!(session.context().instance().num_customers(), 5);
+        assert_eq!(session.epoch(), 3);
+        // Serving still works and respects the shrunk budget.
+        session.serve_remaining();
+        assert!(
+            session.remaining_budget(VendorId::new(0)) <= Money::from_dollars(1.0)
+        );
+        let report = session
+            .assignments()
+            .check_feasibility(session.context().instance(), &model);
+        assert!(report.is_feasible(), "{:?}", report.violations);
     }
 
     #[test]

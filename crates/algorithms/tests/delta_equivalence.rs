@@ -1,0 +1,267 @@
+//! Property tests for the epoch-based delta engine (DESIGN.md §12):
+//! after an arbitrary valid delta sequence, an incrementally patched
+//! [`SolverContext`] must be observationally identical to a context
+//! built from scratch on the post-delta instance — same eligibility
+//! rows element for element, bit-identical pair bases (0 ULP), and
+//! byte-identical outputs from every solver, offline and online.
+
+use muaa_algorithms::{
+    run_online, BatchedRecon, Greedy, NearestAssign, OAfa, OfflineSolver, Recon, SolverContext,
+    ThresholdFn,
+};
+use muaa_core::{
+    ActivityProfile, AdType, AdTypeId, Customer, CustomerId, Delta, DeltaBatch, InstanceBuilder,
+    Money, PearsonUtility, Point, ProblemInstance, TagVector, Timestamp, Vendor, VendorId,
+};
+use proptest::prelude::*;
+
+const TAGS: usize = 4;
+
+/// A non-uniform activity profile so time-dependent moments are
+/// exercised, not the degenerate all-ones case.
+fn diurnal_profile() -> ActivityProfile {
+    let curves: Vec<Vec<f64>> = (0..TAGS)
+        .map(|t| {
+            (0..24)
+                .map(|h| {
+                    let phase = (h + 6 * t) % 24;
+                    0.1 + 0.8 * (phase as f64 / 23.0)
+                })
+                .collect()
+        })
+        .collect();
+    ActivityProfile::from_hourly(&curves).expect("valid curves")
+}
+
+fn customer_strategy() -> impl Strategy<Value = Customer> {
+    (
+        (0.0..1.0f64, 0.0..1.0f64),
+        1..4u32,
+        0.0..1.0f64,
+        proptest::collection::vec(0.0..1.0f64, TAGS),
+        0.0..24.0f64,
+    )
+        .prop_map(|((x, y), capacity, p, interests, hour)| Customer {
+            location: Point::new(x, y),
+            capacity,
+            view_probability: p,
+            interests: TagVector::new(interests).expect("valid"),
+            arrival: Timestamp::from_hours(hour),
+        })
+}
+
+fn instance_strategy() -> impl Strategy<Value = ProblemInstance> {
+    let vendor = (
+        (0.0..1.0f64, 0.0..1.0f64),
+        0.0..1.5f64,
+        0u64..700,
+        proptest::collection::vec(0.0..1.0f64, TAGS),
+    )
+        .prop_map(|((x, y), radius, budget, tags)| Vendor {
+            location: Point::new(x, y),
+            radius,
+            budget: Money::from_cents(budget),
+            tags: TagVector::new(tags).expect("valid"),
+        });
+    (
+        proptest::collection::vec(customer_strategy(), 0..10),
+        proptest::collection::vec(vendor, 1..6),
+    )
+        .prop_map(|(customers, vendors)| {
+            InstanceBuilder::new()
+                .customers(customers)
+                .vendors(vendors)
+                .ad_types([
+                    AdType::new("TL", Money::from_cents(100), 0.1),
+                    AdType::new("PL", Money::from_cents(200), 0.4),
+                ])
+                .build()
+                .expect("valid instance")
+        })
+}
+
+/// Abstract delta operations: indices are resolved modulo the *live*
+/// population at application time, so any generated sequence is valid
+/// regardless of how adds/removes reshuffle customer ids.
+#[derive(Clone, Debug)]
+enum DeltaSpec {
+    Add(Customer),
+    Remove(usize),
+    Move(usize, f64, f64),
+    Budget(usize, u64),
+    Radius(usize, f64),
+    Reprice(usize, u64, f64),
+}
+
+fn spec_strategy() -> impl Strategy<Value = DeltaSpec> {
+    prop_oneof![
+        customer_strategy().prop_map(DeltaSpec::Add),
+        (0usize..32).prop_map(DeltaSpec::Remove),
+        (0usize..32, 0.0..1.0f64, 0.0..1.0f64).prop_map(|(i, x, y)| DeltaSpec::Move(i, x, y)),
+        (0usize..32, 0u64..700).prop_map(|(j, b)| DeltaSpec::Budget(j, b)),
+        (0usize..32, 0.0..1.5f64).prop_map(|(j, r)| DeltaSpec::Radius(j, r)),
+        (0usize..2, 1u64..500, 0.05..0.95f64).prop_map(|(k, c, f)| DeltaSpec::Reprice(k, c, f)),
+    ]
+}
+
+/// Resolve abstract specs into a concrete [`DeltaBatch`], tracking the
+/// evolving customer count so every index is in range when its delta is
+/// applied. Specs that cannot be made valid (e.g. a removal from an
+/// empty instance) are skipped.
+fn resolve(specs: &[DeltaSpec], instance: &ProblemInstance) -> DeltaBatch {
+    let mut batch = DeltaBatch::new();
+    let mut n = instance.num_customers();
+    let vendors = instance.num_vendors();
+    for spec in specs {
+        match spec {
+            DeltaSpec::Add(c) => {
+                batch.push(Delta::AddCustomer(c.clone()));
+                n += 1;
+            }
+            DeltaSpec::Remove(i) => {
+                if n > 0 {
+                    batch.push(Delta::RemoveCustomer(CustomerId::from(i % n)));
+                    n -= 1;
+                }
+            }
+            DeltaSpec::Move(i, x, y) => {
+                if n > 0 {
+                    batch.push(Delta::MoveCustomer(
+                        CustomerId::from(i % n),
+                        Point::new(*x, *y),
+                    ));
+                }
+            }
+            DeltaSpec::Budget(j, cents) => {
+                batch.push(Delta::VendorBudget(
+                    VendorId::from(j % vendors),
+                    Money::from_cents(*cents),
+                ));
+            }
+            DeltaSpec::Radius(j, r) => {
+                batch.push(Delta::VendorRadius(VendorId::from(j % vendors), *r));
+            }
+            DeltaSpec::Reprice(k, cents, factor) => {
+                batch.push(Delta::AdType(
+                    AdTypeId::from(*k),
+                    AdType::new("RP", Money::from_cents(*cents), *factor),
+                ));
+            }
+        }
+    }
+    batch
+}
+
+/// Shadow-apply the batch to a plain instance clone — the reference the
+/// patched context must be indistinguishable from.
+fn post_delta_instance(instance: &ProblemInstance, batch: &DeltaBatch) -> ProblemInstance {
+    let mut shadow = instance.clone();
+    shadow.apply_delta(batch).expect("resolved deltas are valid");
+    shadow
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The patched context's observable state — epoch, both CSR
+    /// directions, and every pair base — matches a fresh build on the
+    /// post-delta instance exactly, in both construction modes.
+    #[test]
+    fn patched_state_matches_fresh_build(
+        instance in instance_strategy(),
+        specs in proptest::collection::vec(spec_strategy(), 0..12),
+    ) {
+        let model = PearsonUtility::new(diurnal_profile());
+        let batch = resolve(&specs, &instance);
+        let shadow = post_delta_instance(&instance, &batch);
+        for brute in [false, true] {
+            let mut patched = if brute {
+                SolverContext::brute_force(&instance, &model)
+            } else {
+                SolverContext::indexed(&instance, &model)
+            };
+            patched.apply_delta(&batch).expect("valid batch");
+            let fresh = if brute {
+                SolverContext::brute_force(&shadow, &model)
+            } else {
+                SolverContext::indexed(&shadow, &model)
+            };
+            prop_assert_eq!(patched.epoch(), shadow.epoch());
+            prop_assert_eq!(patched.epoch(), batch.len() as u64);
+            for (vid, _) in shadow.vendors_enumerated() {
+                prop_assert_eq!(
+                    patched.eligible_customers(vid),
+                    fresh.eligible_customers(vid),
+                    "vendor {} row (brute={})", vid, brute
+                );
+            }
+            for (cid, _) in shadow.customers_enumerated() {
+                prop_assert_eq!(
+                    patched.eligible_vendors(cid),
+                    fresh.eligible_vendors(cid),
+                    "customer {} row (brute={})", cid, brute
+                );
+                for (vid, _) in shadow.vendors_enumerated() {
+                    prop_assert_eq!(
+                        patched.pair_base(cid, vid).to_bits(),
+                        fresh.pair_base(cid, vid).to_bits(),
+                        "pair ({}, {}) (brute={})", cid, vid, brute
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every offline solver produces byte-identical assignments (and
+    /// bit-identical total utility) on the patched context and on a
+    /// fresh context over the post-delta instance.
+    #[test]
+    fn offline_solvers_match_fresh_rebuild(
+        instance in instance_strategy(),
+        specs in proptest::collection::vec(spec_strategy(), 0..12),
+    ) {
+        let model = PearsonUtility::new(diurnal_profile());
+        let batch = resolve(&specs, &instance);
+        let shadow = post_delta_instance(&instance, &batch);
+        let mut patched = SolverContext::indexed(&instance, &model);
+        patched.apply_delta(&batch).expect("valid batch");
+        let fresh = SolverContext::indexed(&shadow, &model);
+        let solvers: Vec<Box<dyn OfflineSolver>> = vec![
+            Box::new(Greedy),
+            Box::new(Recon::new()),
+            Box::new(NearestAssign),
+            Box::new(BatchedRecon::new(3)),
+        ];
+        for solver in &solvers {
+            let a = solver.assign(&patched);
+            let b = solver.assign(&fresh);
+            prop_assert_eq!(a.assignments(), b.assignments(), "{} diverged", solver.name());
+            prop_assert_eq!(
+                a.total_utility(&shadow, &model).to_bits(),
+                b.total_utility(&shadow, &model).to_bits(),
+                "{} utility drifted", solver.name()
+            );
+        }
+    }
+
+    /// O-AFA streamed over the patched context commits exactly the ads
+    /// it commits over a fresh rebuild — the adaptive threshold and the
+    /// candidate ordering both survive incremental maintenance.
+    #[test]
+    fn oafa_matches_fresh_rebuild(
+        instance in instance_strategy(),
+        specs in proptest::collection::vec(spec_strategy(), 0..12),
+    ) {
+        let model = PearsonUtility::new(diurnal_profile());
+        let batch = resolve(&specs, &instance);
+        let shadow = post_delta_instance(&instance, &batch);
+        let mut patched = SolverContext::indexed(&instance, &model);
+        patched.apply_delta(&batch).expect("valid batch");
+        let fresh = SolverContext::indexed(&shadow, &model);
+        let threshold = ThresholdFn::adaptive(0.01, 4.0);
+        let a = run_online(&mut OAfa::new(threshold), &patched);
+        let b = run_online(&mut OAfa::new(threshold), &fresh);
+        prop_assert_eq!(a.assignments.assignments(), b.assignments.assignments());
+        prop_assert_eq!(a.total_utility.to_bits(), b.total_utility.to_bits());
+    }
+}

@@ -10,14 +10,19 @@
 //! (and the ≥2× candidate-arena bar of §11) in environments where
 //! criterion is unavailable.
 //!
+//! A third group (DESIGN.md §12) measures the epoch-based delta engine:
+//! `SolverContext::apply_delta` at ~1% customer churn vs a from-scratch
+//! context rebuild, written to `BENCH_incremental.json`.
+//!
 //! Usage: `pair_cache_report [customers] [vendors]` (default
 //! 10000 × 100). Set `MUAA_BENCH_MIN_HIT_SPEEDUP` /
-//! `MUAA_BENCH_MIN_ARENA_SPEEDUP` to fail the run (exit 1) when the
-//! corresponding speedup comes in under the floor — the CI bench-smoke
-//! job uses this on a small fixture.
+//! `MUAA_BENCH_MIN_ARENA_SPEEDUP` / `MUAA_BENCH_MIN_DELTA_SPEEDUP` to
+//! fail the run (exit 1) when the corresponding speedup comes in under
+//! the floor — the CI bench-smoke and dynamic-scenario jobs use this on
+//! a small fixture.
 
 use muaa_algorithms::{Greedy, OfflineSolver, Recon, SolverContext};
-use muaa_core::{par, CustomerId};
+use muaa_core::{par, CustomerId, Delta, DeltaBatch, Point, ProblemInstance, VendorId};
 use muaa_spatial::GridIndex;
 use std::time::Instant;
 
@@ -223,10 +228,99 @@ fn main() {
         .expect("write BENCH_candidate_arena.json");
     print!("{arena_json}");
 
+    // --- Incremental-delta group (DESIGN.md §12): epoch-based
+    // apply_delta at ~1% customer churn vs a from-scratch context
+    // rebuild on the post-delta instance. The churn batch mixes
+    // relocations (50%), departure+arrival pairs (25%) and vendor
+    // radius updates (25%), sized to 1% of the customer population. ---
+    let churn = (customers / 100).max(1);
+    let churn_batch = |inst_now: &ProblemInstance, round: u64| -> DeltaBatch {
+        let n = inst_now.num_customers() as u64;
+        let v = inst_now.num_vendors() as u64;
+        let mut batch = DeltaBatch::new();
+        for k in 0..churn as u64 {
+            let seed = round.wrapping_mul(churn as u64).wrapping_add(k);
+            let pick = seed.wrapping_mul(2_654_435_761) % n;
+            // Interior targets: churn relocates customers *within* the
+            // served region. Points outside the current bounding box
+            // would legitimately force grid-geometry rebuilds, which is
+            // not the steady-state this benchmark measures.
+            let x = 0.1 + 0.8 * ((seed as f64 * 0.618_033_988_749_895) % 1.0);
+            let y = 0.1 + 0.8 * ((seed as f64 * 0.754_877_666_246_693) % 1.0);
+            match k % 4 {
+                0 | 1 => batch.push(Delta::MoveCustomer(
+                    CustomerId::from(pick as usize),
+                    Point::new(x, y),
+                )),
+                2 => {
+                    let mut c = inst_now.customer(CustomerId::from(pick as usize)).clone();
+                    c.location = Point::new(x, y);
+                    batch.push(Delta::RemoveCustomer(CustomerId::from(pick as usize)));
+                    batch.push(Delta::AddCustomer(c));
+                }
+                _ => {
+                    let vid = VendorId::from((pick % v) as usize);
+                    let r = inst_now.vendor(vid).radius;
+                    batch.push(Delta::VendorRadius(vid, r * (0.9 + 0.2 * x)));
+                }
+            }
+        }
+        batch
+    };
+    let mut live = SolverContext::indexed(inst, &fixture.model);
+    let rounds = 8u64;
+    let mut delta_s = f64::INFINITY;
+    let mut deltas_per_batch = 0usize;
+    for round in 0..rounds {
+        let batch = churn_batch(live.instance(), round);
+        deltas_per_batch = batch.len();
+        let t = Instant::now();
+        live.apply_delta(&batch).expect("churn batch is valid");
+        delta_s = delta_s.min(t.elapsed().as_secs_f64());
+    }
+    let post = live.instance().clone();
+    let rebuild_s = best_of(3, || SolverContext::indexed(&post, &fixture.model));
+    // Integrity: the patched engine must be solver-indistinguishable
+    // from the rebuild it claims to replace.
+    let fresh = SolverContext::indexed(&post, &fixture.model);
+    assert_eq!(
+        Greedy.assign(&live).assignments(),
+        Greedy.assign(&fresh).assignments(),
+        "delta engine diverged from a fresh rebuild"
+    );
+    let delta_speedup = rebuild_s / delta_s;
+
+    let incremental_json = format!(
+        concat!(
+            "{{\n",
+            "  \"fixture\": {{\"customers\": {}, \"vendors\": {}, \"tags\": 8}},\n",
+            "  \"threads\": {},\n",
+            "  \"churn\": {{\"customers_per_batch\": {}, \"deltas_per_batch\": {}, \"rounds\": {}}},\n",
+            "  \"apply_delta_ms\": {:.3},\n",
+            "  \"full_rebuild_ms\": {:.3},\n",
+            "  \"speedup\": {:.2},\n",
+            "  \"target_speedup\": 5.0\n",
+            "}}\n"
+        ),
+        customers,
+        vendors,
+        threads,
+        churn,
+        deltas_per_batch,
+        rounds,
+        delta_s * 1e3,
+        rebuild_s * 1e3,
+        delta_speedup,
+    );
+    std::fs::write("BENCH_incremental.json", &incremental_json)
+        .expect("write BENCH_incremental.json");
+    print!("{incremental_json}");
+
     eprintln!(
         "pair_base memo-hit speedup: {speedup_hit:.2}x (target >= 3x); \
          fill speedup: {speedup_fill:.2}x; \
-         candidate-arena speedup: {arena_speedup:.2}x (target >= 2x); threads: {threads}"
+         candidate-arena speedup: {arena_speedup:.2}x (target >= 2x); \
+         delta-vs-rebuild speedup: {delta_speedup:.2}x (target >= 5x); threads: {threads}"
     );
 
     // Optional CI floors: fail loudly when a speedup regresses below the
@@ -246,6 +340,12 @@ fn main() {
     if let Some(min) = floor("MUAA_BENCH_MIN_ARENA_SPEEDUP") {
         if arena_speedup < min {
             eprintln!("FAIL: candidate-arena speedup {arena_speedup:.2}x < floor {min:.2}x");
+            failed = true;
+        }
+    }
+    if let Some(min) = floor("MUAA_BENCH_MIN_DELTA_SPEEDUP") {
+        if delta_speedup < min {
+            eprintln!("FAIL: delta-vs-rebuild speedup {delta_speedup:.2}x < floor {min:.2}x");
             failed = true;
         }
     }

@@ -244,6 +244,45 @@ impl AssignmentSet {
         self.assignments.push(a);
     }
 
+    /// Mirror a [`Delta::AddCustomer`](crate::delta::Delta) onto the
+    /// bookkeeping: the new customer starts with zero load. Streaming
+    /// layers call this right after applying the delta to the instance.
+    pub fn on_customer_added(&mut self) {
+        self.customer_load.push(0);
+    }
+
+    /// Mirror a [`Delta::RemoveCustomer`](crate::delta::Delta) swap
+    /// remove onto the bookkeeping: the removed customer must carry no
+    /// assignments (returns `false` and leaves the set untouched
+    /// otherwise), and the renamed former-last customer's assignments
+    /// and pair keys are re-keyed to `cid`.
+    pub fn on_customer_swap_removed(&mut self, cid: CustomerId) -> bool {
+        if self.customer_load(cid) != 0 {
+            return false;
+        }
+        let last = self.customer_load.len() - 1;
+        self.customer_load.swap_remove(cid.index());
+        if cid.index() != last {
+            let old = CustomerId::from(last);
+            for a in &mut self.assignments {
+                if a.customer == old {
+                    a.customer = cid;
+                }
+            }
+            let moved: Vec<(u32, u32)> = self
+                .pairs
+                .iter()
+                .filter(|&&(c, _)| c as usize == last)
+                .copied()
+                .collect();
+            for key in moved {
+                self.pairs.remove(&key);
+                self.pairs.insert((cid.0, key.1));
+            }
+        }
+        true
+    }
+
     /// Remove an assignment (by value); returns `true` if it was
     /// present. `O(len)`.
     pub fn remove(&mut self, instance: &ProblemInstance, a: Assignment) -> bool {
@@ -549,6 +588,24 @@ mod tests {
         assert!(forged.remove(&inst, asg(1, 0, 0)));
         assert!(forged.try_push(&inst, asg(1, 0, 0)));
         assert!(!forged.try_push(&inst, asg(1, 0, 1)));
+    }
+
+    #[test]
+    fn customer_delta_hooks_rekey_bookkeeping() {
+        let inst = small_instance();
+        let mut set = AssignmentSet::new(&inst);
+        assert!(set.try_push(&inst, asg(1, 0, 0)));
+        // Removing a loaded customer is refused, set untouched.
+        assert!(!set.on_customer_swap_removed(CustomerId::new(1)));
+        assert_eq!(set.customer_load(CustomerId::new(1)), 1);
+        // Removing customer 0 swap-renames loaded customer 1 -> 0.
+        assert!(set.on_customer_swap_removed(CustomerId::new(0)));
+        assert_eq!(set.customer_load(CustomerId::new(0)), 1);
+        assert!(set.pair_used(CustomerId::new(0), VendorId::new(0)));
+        assert_eq!(set.assignments()[0].customer, CustomerId::new(0));
+        // A fresh arrival takes the next id with zero load.
+        set.on_customer_added();
+        assert_eq!(set.customer_load(CustomerId::new(1)), 0);
     }
 
     #[test]

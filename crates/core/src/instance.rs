@@ -1,6 +1,9 @@
-//! The MUAA problem instance: the offline snapshot `(U_φ, V_φ, T)`.
+//! The MUAA problem instance: the offline snapshot `(U_φ, V_φ, T)`,
+//! plus the epoch-counted mutation API ([`ProblemInstance::apply_delta`])
+//! that lets the snapshot evolve in place between solver runs.
 
 use crate::activity::ActivityProfile;
+use crate::delta::{Delta, DeltaBatch};
 use crate::entities::{AdType, Customer, Vendor};
 use crate::error::CoreError;
 use crate::ids::{AdTypeId, CustomerId, VendorId};
@@ -10,12 +13,16 @@ use crate::money::Money;
 ///
 /// Customers are stored in arrival order: online algorithms consume them
 /// front-to-back, offline algorithms see the whole snapshot at once.
+/// The instance is mutable through the typed [`Delta`] vocabulary only;
+/// every applied delta bumps [`ProblemInstance::epoch`] so derived
+/// indexes can detect staleness cheaply.
 #[derive(Clone, Debug)]
 pub struct ProblemInstance {
     customers: Vec<Customer>,
     vendors: Vec<Vendor>,
     ad_types: Vec<AdType>,
     tag_universe: usize,
+    epoch: u64,
 }
 
 impl ProblemInstance {
@@ -64,7 +71,103 @@ impl ProblemInstance {
             vendors,
             ad_types,
             tag_universe,
+            epoch: 0,
         })
+    }
+
+    /// Monotone mutation counter: starts at 0 and increments once per
+    /// successfully applied [`Delta`]. Two instances with equal epochs
+    /// that share a construction history are identical, so derived
+    /// structures key their validity on this value.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Validate and apply one delta; bumps the epoch on success and
+    /// leaves the instance untouched on error.
+    pub fn apply(&mut self, delta: &Delta) -> Result<(), CoreError> {
+        match delta {
+            Delta::AddCustomer(c) => {
+                let id = CustomerId::from(self.customers.len());
+                c.validate(id)?;
+                if c.interests.len() != self.tag_universe {
+                    return Err(CoreError::TagUniverseMismatch {
+                        entity: format!("customer {id}"),
+                        got: c.interests.len(),
+                        expected: self.tag_universe,
+                    });
+                }
+                self.customers.push(c.clone());
+            }
+            Delta::RemoveCustomer(id) => {
+                self.check_customer(*id)?;
+                self.customers.swap_remove(id.index());
+            }
+            Delta::MoveCustomer(id, to) => {
+                self.check_customer(*id)?;
+                if !to.is_finite() {
+                    return Err(CoreError::InvalidCustomer {
+                        id: *id,
+                        reason: "non-finite location".into(),
+                    });
+                }
+                self.customers[id.index()].location = *to;
+            }
+            Delta::VendorBudget(id, budget) => {
+                self.check_vendor(*id)?;
+                self.vendors[id.index()].budget = *budget;
+            }
+            Delta::VendorRadius(id, radius) => {
+                self.check_vendor(*id)?;
+                if !radius.is_finite() || *radius < 0.0 {
+                    return Err(CoreError::InvalidVendor {
+                        id: *id,
+                        reason: format!("radius {radius} must be finite and non-negative"),
+                    });
+                }
+                self.vendors[id.index()].radius = *radius;
+            }
+            Delta::AdType(id, t) => {
+                if id.index() >= self.ad_types.len() {
+                    return Err(CoreError::UnknownId {
+                        what: format!("ad type {id}"),
+                    });
+                }
+                t.validate(*id)?;
+                self.ad_types[id.index()] = t.clone();
+            }
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Apply a batch front to back. Stops at the first invalid delta,
+    /// leaving the valid prefix applied (each prefix delta bumped the
+    /// epoch); the instance is always in a consistent state.
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<(), CoreError> {
+        for delta in batch {
+            self.apply(delta)?;
+        }
+        Ok(())
+    }
+
+    fn check_customer(&self, id: CustomerId) -> Result<(), CoreError> {
+        if id.index() >= self.customers.len() {
+            return Err(CoreError::UnknownId {
+                what: format!("customer {id}"),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_vendor(&self, id: VendorId) -> Result<(), CoreError> {
+        if id.index() >= self.vendors.len() {
+            return Err(CoreError::UnknownId {
+                what: format!("vendor {id}"),
+            });
+        }
+        Ok(())
     }
 
     /// All customers, in arrival order.

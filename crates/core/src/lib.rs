@@ -46,6 +46,7 @@
 
 pub mod activity;
 pub mod assignment;
+pub mod delta;
 pub mod entities;
 pub mod error;
 pub mod geo;
@@ -59,6 +60,7 @@ pub mod utility;
 
 pub use activity::{ActivityProfile, Timestamp};
 pub use assignment::{Assignment, AssignmentSet, FeasibilityReport, Violation};
+pub use delta::{Delta, DeltaBatch};
 pub use entities::{AdType, Customer, Vendor};
 pub use error::CoreError;
 pub use geo::{Point, DEFAULT_MIN_DISTANCE};

@@ -138,6 +138,126 @@ where
     })
 }
 
+/// Stable parallel merge sort: sorts `items` by `compare` with the exact
+/// permutation `slice::sort_by` (a stable sort) would produce, for any
+/// comparator that is a total preorder.
+///
+/// The slice is cut into contiguous runs (one per available thread),
+/// each run is stable-sorted in parallel, and adjacent runs are merged
+/// pairwise with a left-preferring merge (on `Equal` the element from
+/// the earlier run wins). Left preference keeps equal elements in input
+/// order across run boundaries, so the result is independent of the
+/// thread count — byte-identical to the sequential stable sort.
+///
+/// Falls back to `slice::sort_by` when threading is unavailable (the
+/// `parallel` feature is off, [`with_sequential`] is active, one core)
+/// or the input is small.
+pub fn par_sort_by<T, F>(items: &mut [T], compare: F)
+where
+    T: Send + Sync + Clone,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    /// Below this many elements the scatter/merge overhead dominates.
+    const MIN_RUN: usize = 4 * 1024;
+
+    let len = items.len();
+    let threads = max_threads();
+    let runs = threads.min(len.div_ceil(MIN_RUN));
+    if runs <= 1 {
+        items.sort_by(&compare);
+        return;
+    }
+
+    // Sort each contiguous run in place, in parallel.
+    let bounds: Vec<usize> = (0..=runs).map(|r| r * len / runs).collect();
+    std::thread::scope(|scope| {
+        let compare = &compare;
+        let mut rest = &mut *items;
+        let mut handles = Vec::with_capacity(runs);
+        for r in 0..runs {
+            let (run, tail) = rest.split_at_mut(bounds[r + 1] - bounds[r]);
+            rest = tail;
+            handles.push(scope.spawn(move || run.sort_by(compare)));
+        }
+        for h in handles {
+            h.join().expect("par_sort_by run worker panicked");
+        }
+    });
+
+    // Pairwise merge rounds until one run remains. Each round's merges
+    // are independent, so they run in parallel too.
+    let mut bounds = bounds;
+    let mut buf: Vec<T> = Vec::with_capacity(len);
+    while bounds.len() > 2 {
+        buf.clear();
+        buf.extend_from_slice(items);
+        let pairs = (bounds.len() - 1) / 2;
+        {
+            let items = &mut *items;
+            let src = &buf[..];
+            let compare = &compare;
+            let merge_jobs: Vec<(usize, usize, usize)> = (0..pairs)
+                .map(|p| (bounds[2 * p], bounds[2 * p + 1], bounds[2 * p + 2]))
+                .collect();
+            std::thread::scope(|scope| {
+                let mut rest = items;
+                let mut offset = 0usize;
+                let mut handles = Vec::with_capacity(pairs);
+                for &(lo, mid, hi) in &merge_jobs {
+                    // Skip any gap before this job (odd trailing run).
+                    let (_, tail) = rest.split_at_mut(lo - offset);
+                    let (dst, tail) = tail.split_at_mut(hi - lo);
+                    rest = tail;
+                    offset = hi;
+                    let (a, b) = (&src[lo..mid], &src[mid..hi]);
+                    handles.push(scope.spawn(move || merge_left_preferring(a, b, compare, dst)));
+                }
+                for h in handles {
+                    h.join().expect("par_sort_by merge worker panicked");
+                }
+            });
+        }
+        // Fold the bounds: every pair collapses into one run; an odd
+        // trailing run carries over untouched.
+        let mut next = Vec::with_capacity(bounds.len() / 2 + 2);
+        next.push(bounds[0]);
+        for p in 0..pairs {
+            next.push(bounds[2 * p + 2]);
+        }
+        if bounds.len() % 2 == 0 {
+            next.push(*bounds.last().unwrap());
+        }
+        bounds = next;
+    }
+}
+
+/// Two-pointer stable merge of sorted `a` then `b` into `dst`
+/// (`dst.len() == a.len() + b.len()`); ties take from `a`.
+fn merge_left_preferring<T: Clone>(
+    a: &[T],
+    b: &[T],
+    compare: &impl Fn(&T, &T) -> std::cmp::Ordering,
+    dst: &mut [T],
+) {
+    let (mut i, mut j) = (0, 0);
+    for slot in dst.iter_mut() {
+        let take_a = if i >= a.len() {
+            false
+        } else if j >= b.len() {
+            true
+        } else {
+            compare(&b[j], &a[i]) != std::cmp::Ordering::Less
+        };
+        if take_a {
+            slot.clone_from(&a[i]);
+            i += 1;
+        } else {
+            slot.clone_from(&b[j]);
+            j += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +296,45 @@ mod tests {
         assert!(!sequential_forced());
         with_sequential(|| assert!(sequential_forced()));
         assert!(!sequential_forced());
+    }
+
+    #[test]
+    fn par_sort_matches_sequential_stable_sort() {
+        // Keys collide heavily so stability is actually exercised; the
+        // payload records input order to detect any reordering of equals.
+        let mut items: Vec<(u32, usize)> = (0..50_000)
+            .map(|i| ((i as u32).wrapping_mul(2654435761) % 97, i))
+            .collect();
+        let mut expect = items.clone();
+        expect.sort_by(|a, b| a.0.cmp(&b.0));
+        par_sort_by(&mut items, |a, b| a.0.cmp(&b.0));
+        assert_eq!(items, expect);
+    }
+
+    #[test]
+    fn par_sort_small_and_empty_inputs() {
+        let mut empty: Vec<u32> = Vec::new();
+        par_sort_by(&mut empty, |a, b| a.cmp(b));
+        assert!(empty.is_empty());
+        let mut one = vec![3u32];
+        par_sort_by(&mut one, |a, b| a.cmp(b));
+        assert_eq!(one, vec![3]);
+        let mut few = vec![5u32, 1, 4, 1, 3];
+        par_sort_by(&mut few, |a, b| a.cmp(b));
+        assert_eq!(few, vec![1, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn par_sort_total_cmp_keys_are_thread_count_invariant() {
+        let mut par: Vec<f64> = (0..60_000)
+            .map(|i| ((i * 37 % 1009) as f64 - 500.0) * 0.125)
+            .collect();
+        let mut seq = par.clone();
+        par_sort_by(&mut par, |a, b| b.total_cmp(a));
+        with_sequential(|| par_sort_by(&mut seq, |a, b| b.total_cmp(a)));
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! A uniform grid index over a static set of points.
+//! A uniform grid index over a point set, with incremental maintenance.
 //!
 //! Points are bucketed into square cells; a circular range query visits
 //! only the cells overlapping the query disc. For MUAA workloads
@@ -14,27 +14,50 @@
 //! over dense memory with no per-bucket pointer chase — and produces
 //! hits in exactly the order the nested-`Vec` layout did (cells in
 //! row-major order, points in insertion order within a cell).
+//!
+//! ## Incremental maintenance (DESIGN.md §12)
+//!
+//! [`insert`](GridIndex::insert), [`swap_remove`](GridIndex::swap_remove)
+//! and [`relocate`](GridIndex::relocate) mutate the index without
+//! rebuilding the CSR arrays: removed entries become *tombstones* (dead
+//! slots skipped by queries) and new or renamed entries go to small
+//! per-cell *overflow* lists kept sorted by id. Because a fresh build's
+//! stable counting sort stores each cell's points in ascending-id order,
+//! a query that merges a cell's live base run with its overflow list by
+//! id emits hits in **exactly the sequence a fresh build would** — the
+//! rebuild-equivalence invariant the `delta_equivalence` suite pins.
+//! [`compact`](GridIndex::compact) (also triggered automatically once
+//! garbage passes ~half the live count, or whenever the fresh-build grid
+//! geometry would differ) rebuilds the CSR arrays from the live points,
+//! byte-identical to a from-scratch construction.
 
 use muaa_core::Point;
+use std::collections::HashMap;
 
-/// A grid index over an immutable point set. Entries are `(index,
-/// point)` pairs where `index` is the caller's identifier (e.g. a
-/// customer index).
+/// Sentinel in `slot_of` for ids living in an overflow list (or dead).
+const NO_SLOT: u32 = u32::MAX;
+
+/// A grid index over a point set. Entries are `(index, point)` pairs
+/// where `index` is the caller's identifier (e.g. a customer index);
+/// mutations keep ids dense the same way the instance does (appends take
+/// the next id, [`swap_remove`](Self::swap_remove) renames the last id).
 ///
 /// ```
 /// use muaa_core::Point;
 /// use muaa_spatial::GridIndex;
 ///
 /// let points = vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9), Point::new(0.12, 0.1)];
-/// let index = GridIndex::new(points, 0.05);
+/// let mut index = GridIndex::new(points, 0.05);
 /// let mut hits = index.range_query(Point::new(0.1, 0.1), 0.05);
 /// hits.sort_unstable();
 /// assert_eq!(hits, vec![0, 2]);
 /// assert_eq!(index.k_nearest(Point::new(0.8, 0.8), 1), vec![1]);
+/// index.relocate(1, Point::new(0.11, 0.1));
+/// assert_eq!(index.range_query(Point::new(0.1, 0.1), 0.05).len(), 3);
 /// ```
 #[derive(Clone, Debug)]
 pub struct GridIndex {
-    /// All points, in insertion order; serves [`point`](Self::point).
+    /// All live points, indexed by caller id; serves [`point`](Self::point).
     points: Vec<Point>,
     /// X coordinates in slot (cell-sorted) order.
     xs: Vec<f64>,
@@ -50,6 +73,26 @@ pub struct GridIndex {
     cell: f64,
     min_x: f64,
     min_y: f64,
+    /// The requested (pre-clamp) cell size, so rebuilds reproduce the
+    /// constructor's geometry decisions exactly.
+    cell_param: f64,
+    /// Base slot of each id, or [`NO_SLOT`] if it lives in overflow.
+    slot_of: Vec<u32>,
+    /// Tombstoned base slots (skipped by queries).
+    dead: Vec<bool>,
+    dead_count: usize,
+    /// Per-cell overflow ids, each list sorted ascending.
+    extra: HashMap<u32, Vec<u32>>,
+    extra_count: usize,
+    /// Bounds of the live points, as [`bounds`] would report them.
+    live_bounds: (f64, f64, f64, f64),
+    /// How many live points lie exactly on each side of `live_bounds`
+    /// (`[lo_x, lo_y, hi_x, hi_y]`). A mutation off a boundary point
+    /// only forces an O(n) bounds rescan when the *last* point pinning
+    /// that side goes away — point sets with clamped coordinates pile
+    /// thousands of points onto the box and would otherwise rescan on
+    /// nearly every mutation.
+    extreme_counts: [usize; 4],
 }
 
 impl GridIndex {
@@ -57,44 +100,15 @@ impl GridIndex {
     /// size is clamped so the grid never exceeds ~4M cells.
     pub fn with_cell_size(points: Vec<Point>, cell: f64) -> Self {
         assert!(cell.is_finite() && cell > 0.0, "cell size must be positive");
-        let (min_x, min_y, max_x, max_y) = bounds(&points);
-        let width = (max_x - min_x).max(f64::MIN_POSITIVE);
-        let height = (max_y - min_y).max(f64::MIN_POSITIVE);
-        let mut cell = cell;
-        // Clamp the grid to a sane number of cells.
-        const MAX_CELLS: f64 = 4_000_000.0;
-        if (width / cell) * (height / cell) > MAX_CELLS {
-            cell = ((width * height) / MAX_CELLS).sqrt();
-        }
-        let cols = ((width / cell).ceil() as usize).max(1);
-        let rows = ((height / cell).ceil() as usize).max(1);
-        // Cell assignment is embarrassingly parallel; the CSR fill below
-        // is a stable counting sort in point order, so every cell's slot
-        // run lists points in insertion order — identical to the
-        // sequential nested-Vec bucket fill this replaced.
-        let cell_ids = muaa_core::par::par_map(&points, 4096, |_, p| {
-            let (cx, cy) = cell_of(p, min_x, min_y, cell, cols, rows);
-            cy * cols + cx
-        });
+        let live_bounds = bounds(&points);
+        let extreme_counts = count_extremes(&points, live_bounds);
+        let (eff_cell, cols, rows) = geometry(live_bounds, cell);
+        let (xs, ys, slot_ids, cell_off) =
+            build_csr(&points, live_bounds.0, live_bounds.1, eff_cell, cols, rows);
         let n = points.len();
-        let cells = cols * rows;
-        let mut cell_off = vec![0u32; cells + 1];
-        for &c in &cell_ids {
-            cell_off[c + 1] += 1;
-        }
-        for c in 0..cells {
-            cell_off[c + 1] += cell_off[c];
-        }
-        let mut cursor: Vec<u32> = cell_off[..cells].to_vec();
-        let mut xs = vec![0.0; n];
-        let mut ys = vec![0.0; n];
-        let mut slot_ids = vec![0u32; n];
-        for (i, &c) in cell_ids.iter().enumerate() {
-            let slot = cursor[c] as usize;
-            cursor[c] += 1;
-            xs[slot] = points[i].x;
-            ys[slot] = points[i].y;
-            slot_ids[slot] = i as u32;
+        let mut slot_of = vec![NO_SLOT; n];
+        for (slot, &id) in slot_ids.iter().enumerate() {
+            slot_of[id as usize] = slot as u32;
         }
         GridIndex {
             points,
@@ -104,9 +118,17 @@ impl GridIndex {
             cell_off,
             cols,
             rows,
-            cell,
-            min_x,
-            min_y,
+            cell: eff_cell,
+            min_x: live_bounds.0,
+            min_y: live_bounds.1,
+            cell_param: cell,
+            slot_of,
+            dead: vec![false; n],
+            dead_count: 0,
+            extra: HashMap::new(),
+            extra_count: 0,
+            live_bounds,
+            extreme_counts,
         }
     }
 
@@ -137,23 +159,260 @@ impl GridIndex {
         self.points[index]
     }
 
-    /// The caller index stored in each slot, in cell-sorted order —
-    /// the permutation callers use to build slot-ordered side tables
-    /// (see [`VendorIndex`](crate::VendorIndex)).
-    pub(crate) fn slot_ids(&self) -> &[u32] {
-        &self.slot_ids
+    // --- incremental maintenance -------------------------------------
+
+    /// Append a point under the next dense id and return that id.
+    pub fn insert(&mut self, p: Point) -> u32 {
+        let id = self.points.len() as u32;
+        if self.points.is_empty() {
+            self.live_bounds = (p.x, p.y, p.x, p.y);
+            self.extreme_counts = [1; 4];
+        } else {
+            self.expand_live(p);
+        }
+        self.points.push(p);
+        self.slot_of.push(NO_SLOT);
+        if self.geometry_stale() {
+            self.compact();
+        } else {
+            self.attach_extra(id);
+            self.maybe_compact();
+        }
+        id
     }
 
-    /// Visit every storage slot whose cell overlaps the query disc, in
-    /// slot order, as `f(slot, squared distance to center)`. The cells
-    /// of one grid row are contiguous in slot space, so this is one
-    /// dense scan per row. Callers apply their own radius predicate.
-    pub(crate) fn visit_candidate_slots(
-        &self,
-        center: Point,
-        radius: f64,
-        mut f: impl FnMut(usize, f64),
-    ) {
+    /// Remove `id`; the point holding the **last** id takes `id` (the
+    /// same swap-remove renaming [`muaa_core::Delta::RemoveCustomer`]
+    /// applies to the instance).
+    pub fn swap_remove(&mut self, id: u32) {
+        let last = (self.points.len() - 1) as u32;
+        self.detach(id);
+        if id != last {
+            self.detach(last);
+        }
+        let removed = self.points.swap_remove(id as usize);
+        self.slot_of.swap_remove(id as usize);
+        if id != last {
+            self.attach_extra(id);
+        }
+        self.shrink_live(removed);
+        if self.geometry_stale() {
+            self.compact();
+        } else {
+            self.maybe_compact();
+        }
+    }
+
+    /// Move `id` to a new position.
+    pub fn relocate(&mut self, id: u32, p: Point) {
+        let old = self.points[id as usize];
+        let slot = self.slot_of[id as usize];
+        if slot != NO_SLOT {
+            let old_cell = self.cell_index(&old);
+            let new_cell = self.cell_index(&p);
+            self.points[id as usize] = p;
+            if old_cell == new_cell {
+                // Same cell: coordinates update in place, id order and
+                // slot layout are untouched.
+                self.xs[slot as usize] = p.x;
+                self.ys[slot as usize] = p.y;
+            } else {
+                self.dead[slot as usize] = true;
+                self.dead_count += 1;
+                self.slot_of[id as usize] = NO_SLOT;
+                self.attach_extra(id);
+            }
+        } else {
+            let old_cell = self.cell_index(&old);
+            let new_cell = self.cell_index(&p);
+            self.points[id as usize] = p;
+            if old_cell != new_cell {
+                self.remove_extra(old_cell, id);
+                self.attach_extra(id);
+            }
+        }
+        self.expand_live(p);
+        self.shrink_live(old);
+        if self.geometry_stale() {
+            self.compact();
+        } else {
+            self.maybe_compact();
+        }
+    }
+
+    /// Rebuild the CSR arrays from the live points, dropping every
+    /// tombstone and overflow entry. The result is byte-identical to
+    /// `GridIndex::with_cell_size(points, cell_param)` on the current
+    /// point set — queries before and after compaction return the same
+    /// sequences, and post-compaction storage equals a fresh build's.
+    pub fn compact(&mut self) {
+        self.live_bounds = bounds(&self.points);
+        self.extreme_counts = count_extremes(&self.points, self.live_bounds);
+        let (eff_cell, cols, rows) = geometry(self.live_bounds, self.cell_param);
+        let (xs, ys, slot_ids, cell_off) = build_csr(
+            &self.points,
+            self.live_bounds.0,
+            self.live_bounds.1,
+            eff_cell,
+            cols,
+            rows,
+        );
+        let n = self.points.len();
+        self.slot_of = vec![NO_SLOT; n];
+        for (slot, &id) in slot_ids.iter().enumerate() {
+            self.slot_of[id as usize] = slot as u32;
+        }
+        self.xs = xs;
+        self.ys = ys;
+        self.slot_ids = slot_ids;
+        self.cell_off = cell_off;
+        self.cols = cols;
+        self.rows = rows;
+        self.cell = eff_cell;
+        self.min_x = self.live_bounds.0;
+        self.min_y = self.live_bounds.1;
+        self.dead = vec![false; n];
+        self.dead_count = 0;
+        self.extra.clear();
+        self.extra_count = 0;
+    }
+
+    /// Kill `id`'s current entry (tombstone its base slot or pull it out
+    /// of overflow). `points[id]` must still hold the position the entry
+    /// was filed under.
+    fn detach(&mut self, id: u32) {
+        let slot = self.slot_of[id as usize];
+        if slot != NO_SLOT {
+            self.dead[slot as usize] = true;
+            self.dead_count += 1;
+            self.slot_of[id as usize] = NO_SLOT;
+        } else {
+            let cell = self.cell_index(&self.points[id as usize]);
+            self.remove_extra(cell, id);
+        }
+    }
+
+    /// File `id` (at its current point) into its cell's overflow list,
+    /// keeping the list sorted ascending by id.
+    fn attach_extra(&mut self, id: u32) {
+        let cell = self.cell_index(&self.points[id as usize]);
+        let list = self.extra.entry(cell).or_default();
+        let pos = list.partition_point(|&e| e < id);
+        list.insert(pos, id);
+        self.extra_count += 1;
+    }
+
+    fn remove_extra(&mut self, cell: u32, id: u32) {
+        let list = self.extra.get_mut(&cell).expect("overflow cell missing");
+        let pos = list
+            .iter()
+            .position(|&e| e == id)
+            .expect("overflow entry missing");
+        list.remove(pos);
+        if list.is_empty() {
+            self.extra.remove(&cell);
+        }
+        self.extra_count -= 1;
+    }
+
+    /// Grow the live bounds to cover `p`, keeping the per-side pin
+    /// counts in step: a strictly new extreme restarts its side's count
+    /// at one, landing exactly on an existing side adds a pin.
+    fn expand_live(&mut self, p: Point) {
+        let b = &mut self.live_bounds;
+        let c = &mut self.extreme_counts;
+        if p.x < b.0 {
+            b.0 = p.x;
+            c[0] = 1;
+        } else if p.x == b.0 {
+            c[0] += 1;
+        }
+        if p.y < b.1 {
+            b.1 = p.y;
+            c[1] = 1;
+        } else if p.y == b.1 {
+            c[1] += 1;
+        }
+        if p.x > b.2 {
+            b.2 = p.x;
+            c[2] = 1;
+        } else if p.x == b.2 {
+            c[2] += 1;
+        }
+        if p.y > b.3 {
+            b.3 = p.y;
+            c[3] = 1;
+        } else if p.y == b.3 {
+            c[3] += 1;
+        }
+    }
+
+    /// Account for `removed` leaving the live set. Each side it pinned
+    /// loses one pin; only when a side's *last* pin goes away do the
+    /// bounds actually need an O(n) rescan. `self.points` must already
+    /// reflect the removal (or relocation).
+    fn shrink_live(&mut self, removed: Point) {
+        let (lo_x, lo_y, hi_x, hi_y) = self.live_bounds;
+        let c = &mut self.extreme_counts;
+        let mut rescan = false;
+        if removed.x == lo_x {
+            c[0] -= 1;
+            rescan |= c[0] == 0;
+        }
+        if removed.y == lo_y {
+            c[1] -= 1;
+            rescan |= c[1] == 0;
+        }
+        if removed.x == hi_x {
+            c[2] -= 1;
+            rescan |= c[2] == 0;
+        }
+        if removed.y == hi_y {
+            c[3] -= 1;
+            rescan |= c[3] == 0;
+        }
+        if rescan {
+            self.live_bounds = bounds(&self.points);
+            self.extreme_counts = count_extremes(&self.points, self.live_bounds);
+        }
+    }
+
+    /// `true` iff a fresh build on the live points would pick different
+    /// grid geometry (origin, cell size or cell counts) than the current
+    /// arrays use — queries would then emit hits in a different cell
+    /// order than the fresh build, so the caller must rebuild.
+    fn geometry_stale(&self) -> bool {
+        let (eff_cell, cols, rows) = geometry(self.live_bounds, self.cell_param);
+        self.min_x != self.live_bounds.0
+            || self.min_y != self.live_bounds.1
+            || self.cell != eff_cell
+            || self.cols != cols
+            || self.rows != rows
+    }
+
+    /// Deferred-compaction policy: rebuild once tombstones + overflow
+    /// entries outnumber half the live points (small grids get a grace
+    /// allowance so single-digit point sets don't rebuild every call).
+    fn maybe_compact(&mut self) {
+        if self.dead_count + self.extra_count > self.points.len() / 2 + 8 {
+            self.compact();
+        }
+    }
+
+    /// Flat cell index of `p` under the current geometry.
+    #[inline]
+    fn cell_index(&self, p: &Point) -> u32 {
+        let (cx, cy) = cell_of(p, self.min_x, self.min_y, self.cell, self.cols, self.rows);
+        (cy * self.cols + cx) as u32
+    }
+
+    // --- queries -----------------------------------------------------
+
+    /// Visit every live entry whose cell overlaps the query disc as
+    /// `f(id, squared distance to center)`, in fresh-build order: cells
+    /// row-major, ids ascending within a cell. Callers apply their own
+    /// radius predicate.
+    pub(crate) fn visit_candidates(&self, center: Point, radius: f64, mut f: impl FnMut(u32, f64)) {
         if self.points.is_empty() || radius < 0.0 || radius.is_nan() {
             return;
         }
@@ -173,13 +432,55 @@ impl GridIndex {
             self.cols,
             self.rows,
         );
+        if self.dead_count == 0 && self.extra_count == 0 {
+            // Pristine layout: every cell row is one dense scan, and
+            // slot order within a cell is ascending id already.
+            for cy in lo_cy..=hi_cy {
+                let row = cy * self.cols;
+                let s = self.cell_off[row + lo_cx] as usize;
+                let e = self.cell_off[row + hi_cx + 1] as usize;
+                for slot in s..e {
+                    let d2 = Point::new(self.xs[slot], self.ys[slot]).distance_sq(&center);
+                    f(self.slot_ids[slot], d2);
+                }
+            }
+            return;
+        }
+        // Mutated layout: merge each cell's live base run (ascending id)
+        // with its overflow list (ascending id) so the emission sequence
+        // matches a fresh build on the live points.
         for cy in lo_cy..=hi_cy {
             let row = cy * self.cols;
-            let s = self.cell_off[row + lo_cx] as usize;
-            let e = self.cell_off[row + hi_cx + 1] as usize;
-            for slot in s..e {
-                let d2 = Point::new(self.xs[slot], self.ys[slot]).distance_sq(&center);
-                f(slot, d2);
+            for cx in lo_cx..=hi_cx {
+                let c = row + cx;
+                let mut base = (self.cell_off[c] as usize..self.cell_off[c + 1] as usize)
+                    .filter(|&slot| !self.dead[slot])
+                    .peekable();
+                let empty: &[u32] = &[];
+                let mut over = self
+                    .extra
+                    .get(&(c as u32))
+                    .map_or(empty, Vec::as_slice)
+                    .iter()
+                    .copied()
+                    .peekable();
+                loop {
+                    let take_base = match (base.peek(), over.peek()) {
+                        (Some(&slot), Some(&oid)) => self.slot_ids[slot] < oid,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => break,
+                    };
+                    if take_base {
+                        let slot = base.next().unwrap();
+                        let d2 = Point::new(self.xs[slot], self.ys[slot]).distance_sq(&center);
+                        f(self.slot_ids[slot], d2);
+                    } else {
+                        let oid = over.next().unwrap();
+                        let d2 = self.points[oid as usize].distance_sq(&center);
+                        f(oid, d2);
+                    }
+                }
             }
         }
     }
@@ -189,9 +490,9 @@ impl GridIndex {
     pub fn range_query_into(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
         out.clear();
         let r2 = radius * radius;
-        self.visit_candidate_slots(center, radius, |slot, d2| {
+        self.visit_candidates(center, radius, |id, d2| {
             if d2 <= r2 {
-                out.push(self.slot_ids[slot]);
+                out.push(id);
             }
         });
     }
@@ -267,6 +568,70 @@ impl GridIndex {
         let dy = (p.y - self.min_y).abs().max((p.y - max_y).abs());
         (dx * dx + dy * dy).sqrt()
     }
+
+    /// Number of tombstoned slots plus overflow entries — the garbage
+    /// the next [`compact`](Self::compact) will clear. Test/bench hook.
+    pub fn garbage(&self) -> usize {
+        self.dead_count + self.extra_count
+    }
+}
+
+/// Effective cell size and cell counts a build over `bounds` with the
+/// requested `cell_param` uses. Shared by the constructor, compaction
+/// and the staleness check so all three agree bit-for-bit.
+fn geometry((min_x, min_y, max_x, max_y): (f64, f64, f64, f64), cell_param: f64) -> (f64, usize, usize) {
+    let width = (max_x - min_x).max(f64::MIN_POSITIVE);
+    let height = (max_y - min_y).max(f64::MIN_POSITIVE);
+    let mut cell = cell_param;
+    // Clamp the grid to a sane number of cells.
+    const MAX_CELLS: f64 = 4_000_000.0;
+    if (width / cell) * (height / cell) > MAX_CELLS {
+        cell = ((width * height) / MAX_CELLS).sqrt();
+    }
+    let cols = ((width / cell).ceil() as usize).max(1);
+    let rows = ((height / cell).ceil() as usize).max(1);
+    (cell, cols, rows)
+}
+
+/// Cell-sorted CSR arrays for `points` under the given geometry.
+/// Cell assignment is embarrassingly parallel; the fill is a stable
+/// counting sort in point order, so every cell's slot run lists points
+/// in ascending-id order — identical to the sequential nested-Vec
+/// bucket fill this replaced.
+#[allow(clippy::type_complexity)]
+fn build_csr(
+    points: &[Point],
+    min_x: f64,
+    min_y: f64,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+) -> (Vec<f64>, Vec<f64>, Vec<u32>, Vec<u32>) {
+    let cell_ids = muaa_core::par::par_map(points, 4096, |_, p| {
+        let (cx, cy) = cell_of(p, min_x, min_y, cell, cols, rows);
+        cy * cols + cx
+    });
+    let n = points.len();
+    let cells = cols * rows;
+    let mut cell_off = vec![0u32; cells + 1];
+    for &c in &cell_ids {
+        cell_off[c + 1] += 1;
+    }
+    for c in 0..cells {
+        cell_off[c + 1] += cell_off[c];
+    }
+    let mut cursor: Vec<u32> = cell_off[..cells].to_vec();
+    let mut xs = vec![0.0; n];
+    let mut ys = vec![0.0; n];
+    let mut slot_ids = vec![0u32; n];
+    for (i, &c) in cell_ids.iter().enumerate() {
+        let slot = cursor[c] as usize;
+        cursor[c] += 1;
+        xs[slot] = points[i].x;
+        ys[slot] = points[i].y;
+        slot_ids[slot] = i as u32;
+    }
+    (xs, ys, slot_ids, cell_off)
 }
 
 fn bounds(points: &[Point]) -> (f64, f64, f64, f64) {
@@ -285,6 +650,27 @@ fn bounds(points: &[Point]) -> (f64, f64, f64, f64) {
     } else {
         (min_x, min_y, max_x, max_y)
     }
+}
+
+/// Per-side pin counts for [`GridIndex::shrink_live`]: how many of
+/// `points` lie exactly on each side of `b` (`[lo_x, lo_y, hi_x, hi_y]`).
+fn count_extremes(points: &[Point], b: (f64, f64, f64, f64)) -> [usize; 4] {
+    let mut c = [0usize; 4];
+    for p in points {
+        if p.x == b.0 {
+            c[0] += 1;
+        }
+        if p.y == b.1 {
+            c[1] += 1;
+        }
+        if p.x == b.2 {
+            c[2] += 1;
+        }
+        if p.y == b.3 {
+            c[3] += 1;
+        }
+    }
+    c
 }
 
 /// Cell coordinates of `p`, clamped into the grid.
@@ -523,5 +909,214 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Deterministic replica of the incremental-maintenance property
+    /// (the proptest version lives in `tests/properties.rs`): after any
+    /// interleaving of insert / swap_remove / relocate / compact, every
+    /// query returns the exact sequence a fresh build on the live points
+    /// returns.
+    #[test]
+    fn incremental_maintenance_matches_fresh_build_order() {
+        let p_at = |i: u64| {
+            Point::new(
+                (i as f64 * 0.618_033_988_749_895) % 1.0,
+                (i as f64 * 0.754_877_666_246_693) % 1.0,
+            )
+        };
+        let mut live: Vec<Point> = (0..120).map(|i| p_at(i)).collect();
+        let mut idx = GridIndex::with_cell_size(live.clone(), 0.07);
+        let mut next = 1000u64;
+        // A scripted interleaving that exercises every operation,
+        // including renames of base-slot and overflow entries.
+        for step in 0..400u64 {
+            match step % 7 {
+                0 | 4 => {
+                    next += 1;
+                    let p = p_at(next);
+                    let id = idx.insert(p);
+                    assert_eq!(id as usize, live.len());
+                    live.push(p);
+                }
+                1 | 5 => {
+                    if !live.is_empty() {
+                        let id = (step.wrapping_mul(2654435761) % live.len() as u64) as u32;
+                        idx.swap_remove(id);
+                        live.swap_remove(id as usize);
+                    }
+                }
+                2 | 6 => {
+                    if !live.is_empty() {
+                        let id = (step.wrapping_mul(40503) % live.len() as u64) as u32;
+                        next += 1;
+                        let p = p_at(next);
+                        idx.relocate(id, p);
+                        live[id as usize] = p;
+                    }
+                }
+                _ => {
+                    if step % 21 == 3 {
+                        idx.compact();
+                    }
+                }
+            }
+            // Sequence equality against a from-scratch build, every step.
+            if step % 13 == 0 || step + 1 == 400 {
+                let fresh = GridIndex::with_cell_size(live.clone(), 0.07);
+                assert_eq!(idx.len(), live.len());
+                for q in 0..12u64 {
+                    let center = p_at(3 * q + step);
+                    let radius = (q as f64 * 0.029) % 0.3;
+                    assert_eq!(
+                        idx.range_query(center, radius),
+                        fresh.range_query(center, radius),
+                        "range step {step} query {q}"
+                    );
+                    assert_eq!(
+                        idx.k_nearest(center, 1 + (q as usize % 5)),
+                        fresh.k_nearest(center, 1 + (q as usize % 5)),
+                        "knn step {step} query {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Boundary-pinned point sets (clamped coordinates pile many points
+    /// exactly onto the bounding box): mutations of boundary points must
+    /// keep the pin counts — and therefore the live bounds and geometry
+    /// staleness — exact, staying fresh-build equivalent throughout.
+    /// This is also the O(1)-shrink regression fixture: before the pin
+    /// counts, every one of these mutations re-scanned all points.
+    #[test]
+    fn boundary_pinned_mutations_stay_fresh_build_equivalent() {
+        // Half the points clamped onto the box edges, half interior.
+        let clamp = |v: f64| v.clamp(0.0, 1.0);
+        let p_at = |i: u64| {
+            let raw_x = (i as f64 * 0.618_033_988_749_895) % 1.6 - 0.3;
+            let raw_y = (i as f64 * 0.754_877_666_246_693) % 1.6 - 0.3;
+            Point::new(clamp(raw_x), clamp(raw_y))
+        };
+        let mut live: Vec<Point> = (0..80).map(p_at).collect();
+        let mut idx = GridIndex::with_cell_size(live.clone(), 0.11);
+        let mut next = 500u64;
+        for step in 0..240u64 {
+            match step % 5 {
+                0 => {
+                    // Relocate a boundary point inward (sheds a pin).
+                    let id = (step.wrapping_mul(2654435761) % live.len() as u64) as u32;
+                    let p = Point::new(0.2 + (step as f64 * 0.013) % 0.6, 0.5);
+                    idx.relocate(id, p);
+                    live[id as usize] = p;
+                }
+                1 => {
+                    // Insert a new point exactly on the box (adds pins).
+                    next += 1;
+                    let p = p_at(next);
+                    assert_eq!(idx.insert(p) as usize, live.len());
+                    live.push(p);
+                }
+                2 => {
+                    let id = (step.wrapping_mul(40503) % live.len() as u64) as u32;
+                    idx.swap_remove(id);
+                    live.swap_remove(id as usize);
+                }
+                3 => {
+                    // Relocate onto the box (gains a pin).
+                    let id = (step.wrapping_mul(97) % live.len() as u64) as u32;
+                    let p = Point::new(1.0, (step as f64 * 0.017) % 1.0);
+                    idx.relocate(id, p);
+                    live[id as usize] = p;
+                }
+                _ => {
+                    if step % 35 == 4 {
+                        idx.compact();
+                    }
+                }
+            }
+            let fresh = GridIndex::with_cell_size(live.clone(), 0.11);
+            for q in 0..6u64 {
+                let center = p_at(7 * q + step);
+                let radius = 0.05 + (q as f64 * 0.043) % 0.4;
+                assert_eq!(
+                    idx.range_query(center, radius),
+                    fresh.range_query(center, radius),
+                    "range step {step} query {q}"
+                );
+                assert_eq!(
+                    idx.k_nearest(center, 1 + (q as usize % 4)),
+                    fresh.k_nearest(center, 1 + (q as usize % 4)),
+                    "knn step {step} query {q}"
+                );
+            }
+        }
+    }
+
+    /// Compaction restores the exact fresh-build storage layout, not
+    /// just fresh-build query answers.
+    #[test]
+    fn compaction_is_byte_identical_to_fresh_build() {
+        let mut idx = GridIndex::with_cell_size(
+            (0..200)
+                .map(|i| Point::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.53) % 1.0))
+                .collect(),
+            0.09,
+        );
+        for i in 0..60u32 {
+            match i % 3 {
+                0 => {
+                    idx.insert(Point::new((i as f64 * 0.11) % 1.0, (i as f64 * 0.19) % 1.0));
+                }
+                1 => idx.swap_remove(i % idx.len() as u32),
+                _ => idx.relocate(
+                    (i * 7) % idx.len() as u32,
+                    Point::new((i as f64 * 0.23) % 1.0, (i as f64 * 0.29) % 1.0),
+                ),
+            }
+        }
+        idx.compact();
+        let fresh =
+            GridIndex::with_cell_size((0..idx.len()).map(|i| idx.point(i)).collect(), 0.09);
+        assert_eq!(idx.xs, fresh.xs);
+        assert_eq!(idx.ys, fresh.ys);
+        assert_eq!(idx.slot_ids, fresh.slot_ids);
+        assert_eq!(idx.cell_off, fresh.cell_off);
+        assert_eq!((idx.cols, idx.rows), (fresh.cols, fresh.rows));
+        assert_eq!(idx.cell.to_bits(), fresh.cell.to_bits());
+        assert_eq!(idx.garbage(), 0);
+    }
+
+    /// Inserting far outside the original bounding box (geometry change)
+    /// and shrinking back below it both stay fresh-build equivalent.
+    #[test]
+    fn geometry_changes_trigger_rebuild_equivalence() {
+        let mut live = pts(&[(0.1, 0.1), (0.4, 0.4), (0.8, 0.2)]);
+        let mut idx = GridIndex::with_cell_size(live.clone(), 0.1);
+        // Outside the box: forces new geometry.
+        let p = Point::new(5.0, -3.0);
+        idx.insert(p);
+        live.push(p);
+        let fresh = GridIndex::with_cell_size(live.clone(), 0.1);
+        assert_eq!(
+            idx.range_query(Point::new(0.0, 0.0), 10.0),
+            fresh.range_query(Point::new(0.0, 0.0), 10.0)
+        );
+        // Remove it again: bounds shrink back.
+        idx.swap_remove(3);
+        live.swap_remove(3);
+        let fresh = GridIndex::with_cell_size(live.clone(), 0.1);
+        assert_eq!(
+            idx.range_query(Point::new(0.3, 0.3), 0.5),
+            fresh.range_query(Point::new(0.3, 0.3), 0.5)
+        );
+        // Down to empty and back up.
+        idx.swap_remove(2);
+        idx.swap_remove(0);
+        idx.swap_remove(0);
+        assert!(idx.is_empty());
+        assert!(idx.range_query(Point::new(0.0, 0.0), 1.0).is_empty());
+        let id = idx.insert(Point::new(0.5, 0.5));
+        assert_eq!(id, 0);
+        assert_eq!(idx.range_query(Point::new(0.5, 0.5), 0.1), vec![0]);
     }
 }

@@ -8,31 +8,61 @@
 //! queries every class with that class's maximum radius; candidates are
 //! then filtered by their exact radius.
 //!
-//! Per-class side tables (`r2`, `ids`) are stored in the grid's *slot*
-//! order (DESIGN.md §11), so a query is one contiguous scan per class
-//! with zero scratch allocation: the grid visits candidate slots, and
-//! the exact-radius filter reads `r2[slot]` from the parallel array.
+//! Per-class side tables (`r2`, `ids`) are indexed by the grid's *local
+//! id* (DESIGN.md §11–12), so a query is one dense scan per class with
+//! zero scratch allocation: the grid visits candidate entries, and the
+//! exact-radius filter reads `r2[local]` from the parallel array. Local
+//! ids are also what the grid's swap-remove renames, which makes radius
+//! updates ([`set_radius`](VendorIndex::set_radius)) O(log n): a vendor
+//! whose radius crosses a class boundary migrates between class grids
+//! incrementally instead of forcing a rebuild.
 
 use crate::grid::GridIndex;
 use muaa_core::{Point, Vendor, VendorId};
+
+/// Radius floor for class 0; class `c ≥ 1` holds radii in
+/// `(R0·2^(c-2), R0·2^(c-1)]`.
+const R0: f64 = 1e-6;
+
+/// The power-of-two radius class a radius falls into.
+fn class_of(r: f64) -> usize {
+    if r <= R0 {
+        0
+    } else {
+        (r / R0).log2().ceil() as usize + 1
+    }
+}
+
+/// The query radius (class maximum) of class `c`.
+fn class_radius(c: usize) -> f64 {
+    if c == 0 {
+        R0
+    } else {
+        R0 * 2f64.powi(c as i32 - 1)
+    }
+}
 
 /// An index answering "which vendors cover point `p`" (the valid vendor
 /// set `V'` of paper Algorithm 2, line 2).
 #[derive(Clone, Debug)]
 pub struct VendorIndex {
-    /// One (grid, class max radius, slot-ordered r², slot-ordered ids)
-    /// per radius class.
+    /// One (grid, class max radius, member tables) per radius class,
+    /// sorted by class key. Classes left empty by migrations are kept —
+    /// their grids answer queries in O(1).
     classes: Vec<RadiusClass>,
-    len: usize,
+    /// `(class key, local id within the class)` per vendor.
+    membership: Vec<(usize, u32)>,
 }
 
 #[derive(Clone, Debug)]
 struct RadiusClass {
+    /// The power-of-two class key this bucket holds.
+    key: usize,
     grid: GridIndex,
     max_radius: f64,
-    /// Squared member radius, parallel to the grid's *slot* order.
+    /// Squared member radius, indexed by the grid's local id.
     r2: Vec<f64>,
-    /// Member vendor id, parallel to the grid's *slot* order.
+    /// Member vendor id, indexed by the grid's local id.
     ids: Vec<VendorId>,
 }
 
@@ -41,73 +71,117 @@ impl VendorIndex {
     /// matched by customers standing exactly on them.
     pub fn new(vendors: &[Vendor]) -> Self {
         // Partition vendor indices into power-of-two radius classes.
-        // Class c holds radii in (2^(c-1)·r0, 2^c·r0] with r0 = 1e-6.
-        const R0: f64 = 1e-6;
-        let mut partitions: Vec<(f64, Vec<usize>)> = Vec::new();
-        let class_of = |r: f64| -> usize {
-            if r <= R0 {
-                0
-            } else {
-                (r / R0).log2().ceil() as usize + 1
-            }
-        };
         let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> =
             std::collections::BTreeMap::new();
         for (j, v) in vendors.iter().enumerate() {
             by_class.entry(class_of(v.radius)).or_default().push(j);
         }
-        for (c, members) in by_class {
-            let max_radius = if c == 0 {
-                R0
-            } else {
-                R0 * 2f64.powi(c as i32 - 1)
-            };
-            partitions.push((max_radius, members));
-        }
+        let partitions: Vec<(usize, Vec<usize>)> = by_class.into_iter().collect();
 
         // Each radius class builds its own grid independently; classes
-        // come out of the map in partition order, so the index layout is
+        // come out of the map in key order, so the index layout is
         // identical to a sequential build.
-        let classes = muaa_core::par::par_map(&partitions, 1, |_, (max_radius, members)| {
-            let max_radius = *max_radius;
+        let classes = muaa_core::par::par_map(&partitions, 1, |_, (key, members)| {
+            let max_radius = class_radius(*key);
             let points: Vec<Point> = members.iter().map(|&j| vendors[j].location).collect();
             let grid = GridIndex::new(points, max_radius);
-            // Side tables live in slot (cell-sorted) order so queries
-            // never translate slot → insertion index.
-            let r2: Vec<f64> = grid
-                .slot_ids()
+            // Side tables are indexed by local id (= position in
+            // `members`), the identifier the grid hands back.
+            let r2: Vec<f64> = members
                 .iter()
-                .map(|&li| {
-                    let r = vendors[members[li as usize]].radius;
-                    r * r
-                })
+                .map(|&j| vendors[j].radius * vendors[j].radius)
                 .collect();
-            let ids: Vec<VendorId> = grid
-                .slot_ids()
-                .iter()
-                .map(|&li| VendorId::from(members[li as usize]))
-                .collect();
+            let ids: Vec<VendorId> = members.iter().map(|&j| VendorId::from(j)).collect();
             RadiusClass {
+                key: *key,
                 grid,
                 max_radius,
                 r2,
                 ids,
             }
         });
+        let mut membership = vec![(0usize, 0u32); vendors.len()];
+        for class in &classes {
+            for (local, &vid) in class.ids.iter().enumerate() {
+                membership[vid.index()] = (class.key, local as u32);
+            }
+        }
         VendorIndex {
             classes,
-            len: vendors.len(),
+            membership,
         }
     }
 
     /// Number of indexed vendors.
     pub fn len(&self) -> usize {
-        self.len
+        self.membership.len()
     }
 
     /// `true` iff no vendors are indexed.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.membership.is_empty()
+    }
+
+    /// Update one vendor's radius. Within its radius class this is a
+    /// table write; across classes the vendor migrates to the new
+    /// class's grid (created on demand), both O(log n). The set of
+    /// covering vendors any query reports afterwards is exactly what a
+    /// fresh build on the updated radii would report.
+    pub fn set_radius(&mut self, vid: VendorId, radius: f64) {
+        let (old_key, old_local) = self.membership[vid.index()];
+        let new_key = class_of(radius);
+        if new_key == old_key {
+            let pos = self.class_pos(old_key).expect("member class missing");
+            self.classes[pos].r2[old_local as usize] = radius * radius;
+            return;
+        }
+        // Detach from the old class: the grid renames its last local id
+        // to `old_local`, so the side tables swap-remove in lockstep and
+        // the renamed member's membership is rewritten.
+        let pos = self.class_pos(old_key).expect("member class missing");
+        let class = &mut self.classes[pos];
+        let location = class.grid.point(old_local as usize);
+        class.grid.swap_remove(old_local);
+        class.ids.swap_remove(old_local as usize);
+        class.r2.swap_remove(old_local as usize);
+        if (old_local as usize) < class.ids.len() {
+            let renamed = class.ids[old_local as usize];
+            self.membership[renamed.index()] = (old_key, old_local);
+        }
+        // Attach to the new class, creating it in key order if needed.
+        let pos = match self.class_pos(new_key) {
+            Some(pos) => pos,
+            None => {
+                let max_radius = class_radius(new_key);
+                let pos = self
+                    .classes
+                    .partition_point(|c| c.key < new_key);
+                self.classes.insert(
+                    pos,
+                    RadiusClass {
+                        key: new_key,
+                        grid: GridIndex::new(Vec::new(), max_radius),
+                        max_radius,
+                        r2: Vec::new(),
+                        ids: Vec::new(),
+                    },
+                );
+                pos
+            }
+        };
+        let class = &mut self.classes[pos];
+        let local = class.grid.insert(location);
+        debug_assert_eq!(local as usize, class.ids.len());
+        class.ids.push(vid);
+        class.r2.push(radius * radius);
+        self.membership[vid.index()] = (new_key, local);
+    }
+
+    /// Position of the class with `key` in the sorted class list.
+    fn class_pos(&self, key: usize) -> Option<usize> {
+        self.classes
+            .binary_search_by(|c| c.key.cmp(&key))
+            .ok()
     }
 
     /// All vendors whose area contains `p` (`d(p, v_j) ≤ r_j`),
@@ -118,9 +192,9 @@ impl VendorIndex {
             // A member's own radius never exceeds its class radius, so
             // the exact predicate subsumes the class-radius prefilter
             // the old nested-Vec path applied first.
-            class.grid.visit_candidate_slots(p, class.max_radius, |slot, d2| {
-                if d2 <= class.r2[slot] {
-                    out.push(class.ids[slot]);
+            class.grid.visit_candidates(p, class.max_radius, |local, d2| {
+                if d2 <= class.r2[local as usize] {
+                    out.push(class.ids[local as usize]);
                 }
             });
         }
@@ -215,5 +289,44 @@ mod tests {
         let idx = VendorIndex::new(&vendors);
         assert_eq!(idx.covering(Point::new(0.25, 0.25)), vec![VendorId::new(0)]);
         assert!(idx.covering(Point::new(0.26, 0.25)).is_empty());
+    }
+
+    /// Radius updates (same class, cross class, to/from zero) keep the
+    /// covering sets identical to a from-scratch build on the updated
+    /// vendor table.
+    #[test]
+    fn set_radius_matches_fresh_build() {
+        let mut vendors: Vec<Vendor> = (0..60)
+            .map(|j| {
+                vendor(
+                    (j as f64 * 0.618_033_988_749_895) % 1.0,
+                    (j as f64 * 0.754_877_666_246_693) % 1.0,
+                    (j as f64 * 0.013) % 0.4,
+                )
+            })
+            .collect();
+        let mut idx = VendorIndex::new(&vendors);
+        for step in 0..150u64 {
+            let j = (step.wrapping_mul(2654435761) % vendors.len() as u64) as usize;
+            let r = match step % 4 {
+                0 => 0.0,                              // degenerate class 0
+                1 => vendors[j].radius * 1.001,        // usually same class
+                2 => (step as f64 * 0.0137) % 0.5,     // arbitrary class hop
+                _ => vendors[j].radius * 7.0 + 1e-9,   // guaranteed class hop
+            };
+            vendors[j].radius = r;
+            idx.set_radius(VendorId::from(j), r);
+            if step % 10 == 0 || step + 1 == 150 {
+                let fresh = VendorIndex::new(&vendors);
+                for q in 0..25 {
+                    let p = Point::new((q as f64 * 0.17) % 1.0, (q as f64 * 0.31) % 1.0);
+                    let mut got = idx.covering(p);
+                    got.sort_unstable();
+                    let mut expect = fresh.covering(p);
+                    expect.sort_unstable();
+                    assert_eq!(got, expect, "step {step} query {q}");
+                }
+            }
+        }
     }
 }

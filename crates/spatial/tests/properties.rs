@@ -264,6 +264,137 @@ mod csr_equivalence {
     }
 }
 
+/// Incremental maintenance (DESIGN.md §12): after an arbitrary
+/// interleaving of insert / swap_remove / relocate / compact, the
+/// mutated grid must answer every query with the exact *sequence* a
+/// fresh build over the live points returns — not just the same set.
+/// A deterministic replica of this property runs inside the crate's
+/// unit tests for registry-less environments.
+mod mutation_equivalence {
+    use muaa_core::{Money, Point, TagVector, Vendor};
+    use muaa_spatial::{GridIndex, VendorIndex};
+    use proptest::prelude::*;
+
+    /// One abstract mutation; indices are resolved modulo the live
+    /// population when the op is applied.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Insert(f64, f64),
+        Remove(usize),
+        Relocate(usize, f64, f64),
+        Compact,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0.0..1.0f64, 0.0..1.0f64).prop_map(|(x, y)| Op::Insert(x, y)),
+            3 => (0usize..256).prop_map(Op::Remove),
+            3 => (0usize..256, 0.0..1.0f64, 0.0..1.0f64)
+                .prop_map(|(i, x, y)| Op::Relocate(i, x, y)),
+            1 => Just(Op::Compact),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Range queries and k-NN on the mutated grid reproduce a
+        /// from-scratch build element for element, in order, after
+        /// every prefix of the op sequence.
+        #[test]
+        fn mutated_grid_matches_fresh_build_order(
+            initial in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 0..60),
+            ops in proptest::collection::vec(op_strategy(), 0..40),
+            (qx, qy) in (-0.2..1.2f64, -0.2..1.2f64),
+            radius in 0.0..0.6f64,
+            k in 0usize..10,
+            cell in 0.01..0.4f64,
+        ) {
+            let mut live: Vec<Point> =
+                initial.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let mut idx = GridIndex::with_cell_size(live.clone(), cell);
+            let q = Point::new(qx, qy);
+            for op in &ops {
+                match op {
+                    Op::Insert(x, y) => {
+                        let p = Point::new(*x, *y);
+                        let id = idx.insert(p);
+                        prop_assert_eq!(id as usize, live.len());
+                        live.push(p);
+                    }
+                    Op::Remove(i) => {
+                        if !live.is_empty() {
+                            let id = (i % live.len()) as u32;
+                            idx.swap_remove(id);
+                            live.swap_remove(id as usize);
+                        }
+                    }
+                    Op::Relocate(i, x, y) => {
+                        if !live.is_empty() {
+                            let id = (i % live.len()) as u32;
+                            let p = Point::new(*x, *y);
+                            idx.relocate(id, p);
+                            live[id as usize] = p;
+                        }
+                    }
+                    Op::Compact => idx.compact(),
+                }
+                prop_assert_eq!(idx.len(), live.len());
+                let fresh = GridIndex::with_cell_size(live.clone(), cell);
+                prop_assert_eq!(
+                    idx.range_query(q, radius),
+                    fresh.range_query(q, radius),
+                    "range after {:?}", op
+                );
+                prop_assert_eq!(
+                    idx.k_nearest(q, k),
+                    fresh.k_nearest(q, k),
+                    "knn after {:?}", op
+                );
+            }
+        }
+
+        /// Vendor radius mutations: after an arbitrary sequence of
+        /// `set_radius` calls, the covering *set* equals brute force
+        /// (covering order after mutation is unspecified — the solver
+        /// layer canonicalises, so the property compares sorted).
+        #[test]
+        fn vendor_radius_mutations_match_brute_force(
+            spec in proptest::collection::vec(
+                ((0.0..1.0f64, 0.0..1.0f64), 0.0..0.4f64), 1..40
+            ),
+            updates in proptest::collection::vec((0usize..256, 0.0..0.6f64), 0..24),
+            (qx, qy) in (0.0..1.0f64, 0.0..1.0f64),
+        ) {
+            let mut vendors: Vec<Vendor> = spec
+                .into_iter()
+                .map(|((x, y), r)| Vendor {
+                    location: Point::new(x, y),
+                    radius: r,
+                    budget: Money::from_cents(100),
+                    tags: TagVector::zeros(1),
+                })
+                .collect();
+            let mut index = VendorIndex::new(&vendors);
+            let q = Point::new(qx, qy);
+            for (j, r) in updates {
+                let vid = muaa_core::VendorId::from(j % vendors.len());
+                index.set_radius(vid, r);
+                vendors[vid.index()].radius = r;
+                let mut got = index.covering(q);
+                got.sort_unstable();
+                let expect: Vec<muaa_core::VendorId> = vendors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.location.distance_sq(&q) <= v.radius * v.radius)
+                    .map(|(i, _)| muaa_core::VendorId::from(i))
+                    .collect();
+                prop_assert_eq!(got, expect, "after set_radius({}, {})", vid, r);
+            }
+        }
+    }
+}
+
 mod kdtree_equivalence {
     use muaa_core::Point;
     use muaa_spatial::{GridIndex, KdTree};
