@@ -86,9 +86,7 @@ pub fn upper_bounds(ctx: &SolverContext<'_>) -> UpperBounds {
         let a = customer.capacity as usize;
         if utilities.len() > a {
             // Partial selection of the a largest.
-            utilities.select_nth_unstable_by(a - 1, |x, y| {
-                y.partial_cmp(x).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            utilities.select_nth_unstable_by(a - 1, |x, y| y.total_cmp(x));
             utilities.truncate(a);
         }
         customer_bound += utilities.iter().sum::<f64>();

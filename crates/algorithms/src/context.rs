@@ -298,6 +298,35 @@ impl<T: Copy + Ord> CsrDir<T> {
         self.live -= 1;
     }
 
+    /// Structural self-check, free unless `debug_assertions` are on:
+    /// every span stays inside the arena, `live` equals the span-length
+    /// sum, and every row is strictly ascending (the canonical order
+    /// the rebuild-equivalence invariant depends on).
+    fn debug_validate(&self, what: &str) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let mut total = 0usize;
+        for (k, &(start, len)) in self.spans.iter().enumerate() {
+            let end = start as usize + len as usize;
+            assert!(
+                end <= self.ids.len(),
+                "{what}: row {k} span [{start}, {end}) escapes the arena (len {})",
+                self.ids.len()
+            );
+            total += len as usize;
+            let row = &self.ids[start as usize..end];
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "{what}: row {k} is not strictly ascending"
+            );
+        }
+        assert_eq!(
+            self.live, total,
+            "{what}: live counter drifted from the span-length sum"
+        );
+    }
+
     /// Repack rows densely once garbage exceeds the live size.
     fn maybe_compact(&mut self) {
         if self.ids.len() <= 2 * self.live + 64 {
@@ -354,6 +383,20 @@ pub struct SolverContext<'a> {
     pearson: Option<&'a PearsonUtility>,
     cache: Option<PairCache>,
     eligibility: EligibilityIndex,
+}
+
+// Manual impl: `model` is a `&dyn UtilityModel`, which has no `Debug`
+// bound; summarize the index configuration instead of dumping it.
+impl std::fmt::Debug for SolverContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverContext")
+            .field("customers", &self.instance.customers().len())
+            .field("vendors", &self.instance.vendors().len())
+            .field("indexed", &self.customer_grid.is_some())
+            .field("pearson_fast_path", &self.pearson.is_some())
+            .field("cached", &self.cache.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> SolverContext<'a> {
@@ -526,6 +569,59 @@ impl<'a> SolverContext<'a> {
         self.eligible_customers(vid).to_vec()
     }
 
+    /// Validate the candidate substrate's structural invariants
+    /// (DESIGN.md §13): both CSR directions densely cover the instance,
+    /// every row is canonically ascending and inside its id arena, and
+    /// the two directions describe the same pair set. A no-op unless
+    /// `debug_assertions` are on; the delta-equivalence proptests call
+    /// it after every patched build.
+    pub fn debug_validate(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let n_c = self.instance.customers().len();
+        let n_v = self.instance.vendors().len();
+        assert_eq!(
+            self.eligibility.v2c.spans.len(),
+            n_v,
+            "v2c must have one row per vendor"
+        );
+        assert_eq!(
+            self.eligibility.c2v.spans.len(),
+            n_c,
+            "c2v must have one row per customer"
+        );
+        self.eligibility.v2c.debug_validate("v2c");
+        self.eligibility.c2v.debug_validate("c2v");
+        // Every v2c pair must be mirrored in c2v; with equal pair counts
+        // and strictly ascending rows on both sides (checked above),
+        // one-directional containment is set equality.
+        let mut pairs = 0usize;
+        for v in 0..n_v {
+            for &c in self.eligibility.v2c.row(v) {
+                assert!(c.index() < n_c, "v2c row {v} holds out-of-range {c}");
+                assert!(
+                    self.eligibility
+                        .c2v
+                        .row(c.index())
+                        .binary_search(&VendorId::from(v))
+                        .is_ok(),
+                    "pair ({c}, v{v}) present in v2c but missing from c2v"
+                );
+                pairs += 1;
+            }
+        }
+        assert_eq!(
+            pairs, self.eligibility.c2v.live,
+            "v2c and c2v disagree on the live pair count"
+        );
+        for c in 0..n_c {
+            for &v in self.eligibility.c2v.row(c) {
+                assert!(v.index() < n_v, "c2v row {c} holds out-of-range {v}");
+            }
+        }
+    }
+
     /// Owned copy of [`eligible_vendors`](Self::eligible_vendors), for
     /// callers that mutate the list (e.g. NEAREST's distance sort).
     /// Prefer the slice accessor.
@@ -594,9 +690,7 @@ impl<'a> SolverContext<'a> {
         valid.sort_by(|&a, &b| {
             let da = self.model.distance(cid, c, a, self.instance.vendor(a));
             let db = self.model.distance(cid, c, b, self.instance.vendor(b));
-            da.partial_cmp(&db)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            da.total_cmp(&db).then(a.cmp(&b))
         });
         valid
     }
@@ -1304,6 +1398,8 @@ mod tests {
     /// §12) at the context level; solver-level equivalence is pinned in
     /// `tests/delta_equivalence.rs`.
     fn assert_rebuild_equivalent(ctx: &SolverContext, fresh: &SolverContext) {
+        ctx.debug_validate();
+        fresh.debug_validate();
         let inst = ctx.instance();
         for (vid, _) in inst.vendors_enumerated() {
             assert_eq!(

@@ -161,7 +161,7 @@ fn build_suffix_tops(pairs: &[Pair], num_customers: usize) -> Vec<Vec<f64>> {
         }
         let mut flat = Vec::new();
         for list in &mut per_customer {
-            list.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            list.sort_by(|a, b| b.total_cmp(a));
             flat.push(list.len() as f64);
             flat.extend_from_slice(list);
         }
@@ -186,7 +186,7 @@ impl OfflineSolver for ExactBnB {
                     .map(|(tid, t)| (tid, t.cost, base * t.effectiveness))
                     .filter(|&(_, _, l)| l > 0.0)
                     .collect();
-                options.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+                options.sort_by(|a, b| b.2.total_cmp(&a.2));
                 if options.is_empty() {
                     continue;
                 }
@@ -200,11 +200,7 @@ impl OfflineSolver for ExactBnB {
             }
         }
         // Explore big-fish pairs first.
-        pairs.sort_by(|a, b| {
-            b.max_utility
-                .partial_cmp(&a.max_utility)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        pairs.sort_by(|a, b| b.max_utility.total_cmp(&a.max_utility));
 
         let suffix_tops = build_suffix_tops(&pairs, inst.num_customers());
         let n_pairs = pairs.len();

@@ -77,7 +77,7 @@ pub fn estimate_gamma_bounds(
     if gammas.is_empty() {
         return None;
     }
-    gammas.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    gammas.sort_by(f64::total_cmp);
     let q = |p: f64| -> f64 {
         let idx = ((gammas.len() - 1) as f64 * p).round() as usize;
         gammas[idx]

@@ -105,12 +105,7 @@ impl OnlineSolver for OAfa {
         }
 
         // Lines 7–8: keep the top-a_i by budget efficiency.
-        candidates.sort_by(|a, b| {
-            b.gamma
-                .partial_cmp(&a.gamma)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.vendor.cmp(&b.vendor))
-        });
+        candidates.sort_by(|a, b| b.gamma.total_cmp(&a.gamma).then(a.vendor.cmp(&b.vendor)));
         candidates.truncate(capacity);
 
         // Commit. Each vendor contributes at most one candidate, so the

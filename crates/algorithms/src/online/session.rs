@@ -94,6 +94,18 @@ pub struct BrokerSession<'a> {
     served: Vec<bool>,
 }
 
+// Manual impl: `ctx` borrows a `&dyn UtilityModel`, so the session
+// cannot derive; report serving progress instead.
+impl std::fmt::Debug for BrokerSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerSession")
+            .field("ctx", &self.ctx)
+            .field("served", &self.latency.served)
+            .field("customers", &self.served.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> BrokerSession<'a> {
     /// Start a session with the O-AFA solver, estimating `γ_min`/`g`
     /// from the snapshot (paper §IV-C). Falls back to an unfiltered

@@ -186,6 +186,8 @@ proptest! {
             } else {
                 SolverContext::indexed(&shadow, &model)
             };
+            patched.debug_validate();
+            fresh.debug_validate();
             prop_assert_eq!(patched.epoch(), shadow.epoch());
             prop_assert_eq!(patched.epoch(), batch.len() as u64);
             for (vid, _) in shadow.vendors_enumerated() {
@@ -226,6 +228,7 @@ proptest! {
         let mut patched = SolverContext::indexed(&instance, &model);
         patched.apply_delta(&batch).expect("valid batch");
         let fresh = SolverContext::indexed(&shadow, &model);
+        patched.debug_validate();
         let solvers: Vec<Box<dyn OfflineSolver>> = vec![
             Box::new(Greedy),
             Box::new(Recon::new()),
@@ -258,6 +261,7 @@ proptest! {
         let mut patched = SolverContext::indexed(&instance, &model);
         patched.apply_delta(&batch).expect("valid batch");
         let fresh = SolverContext::indexed(&shadow, &model);
+        patched.debug_validate();
         let threshold = ThresholdFn::adaptive(0.01, 4.0);
         let a = run_online(&mut OAfa::new(threshold), &patched);
         let b = run_online(&mut OAfa::new(threshold), &fresh);

@@ -25,6 +25,16 @@ pub struct Fixture {
     pub model: PearsonUtility,
 }
 
+// Manual impl: benches only ever care about the fixture's scale.
+impl std::fmt::Debug for Fixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fixture")
+            .field("customers", &self.instance.customers().len())
+            .field("vendors", &self.instance.vendors().len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// A synthetic fixture sized for benching (smaller than experiment
 /// scale so criterion's repeated sampling stays affordable).
 pub fn synthetic_fixture(customers: usize, vendors: usize, budget: (f64, f64)) -> Fixture {

@@ -263,21 +263,21 @@ impl AssignmentSet {
         let last = self.customer_load.len() - 1;
         self.customer_load.swap_remove(cid.index());
         if cid.index() != last {
+            // Re-key via the assignment list, not by iterating the
+            // hash set: every pair of the renamed customer appears
+            // there (cid itself carries none — load checked above), so
+            // this stays deterministic and O(len).
             let old = CustomerId::from(last);
+            let mut moved: Vec<u32> = Vec::new();
             for a in &mut self.assignments {
                 if a.customer == old {
                     a.customer = cid;
+                    moved.push(a.vendor.0);
                 }
             }
-            let moved: Vec<(u32, u32)> = self
-                .pairs
-                .iter()
-                .filter(|&&(c, _)| c as usize == last)
-                .copied()
-                .collect();
-            for key in moved {
-                self.pairs.remove(&key);
-                self.pairs.insert((cid.0, key.1));
+            for vendor in moved {
+                self.pairs.remove(&(old.0, vendor));
+                self.pairs.insert((cid.0, vendor));
             }
         }
         true

@@ -119,7 +119,9 @@ pub fn write_instance(instance: &ProblemInstance, out: &mut dyn Write) -> io::Re
 /// Serialize to an in-memory string.
 pub fn to_string(instance: &ProblemInstance) -> String {
     let mut buf = Vec::new();
+    // Writing into a Vec is infallible. lint: allow(unwrap)
     write_instance(instance, &mut buf).expect("writing to a Vec cannot fail");
+    // The serializer emits ASCII only. lint: allow(unwrap)
     String::from_utf8(buf).expect("format is ASCII/UTF-8")
 }
 

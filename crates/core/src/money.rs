@@ -97,6 +97,7 @@ impl Add for Money {
     type Output = Money;
     #[inline]
     fn add(self, rhs: Money) -> Money {
+        // Overflow is a caller bug by contract. lint: allow(unwrap)
         Money(self.0.checked_add(rhs.0).expect("money overflow"))
     }
 }
@@ -115,6 +116,7 @@ impl Sub for Money {
     /// checked before committing an assignment).
     #[inline]
     fn sub(self, rhs: Money) -> Money {
+        // lint: allow(unwrap)
         Money(self.0.checked_sub(rhs.0).expect("money underflow"))
     }
 }
@@ -130,6 +132,7 @@ impl Mul<u64> for Money {
     type Output = Money;
     #[inline]
     fn mul(self, rhs: u64) -> Money {
+        // Overflow is a caller bug by contract. lint: allow(unwrap)
         Money(self.0.checked_mul(rhs).expect("money overflow"))
     }
 }

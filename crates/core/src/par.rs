@@ -104,6 +104,7 @@ where
             })
             .collect();
         for h in handles {
+            // Propagate worker panics to the caller. lint: allow(unwrap)
             per_chunk.push(h.join().expect("par_map worker panicked"));
         }
     });
@@ -133,6 +134,7 @@ where
     std::thread::scope(|scope| {
         let hb = scope.spawn(fb);
         let a = fa();
+        // Propagate worker panics to the caller. lint: allow(unwrap)
         let b = hb.join().expect("join worker panicked");
         (a, b)
     })
@@ -180,6 +182,7 @@ where
             handles.push(scope.spawn(move || run.sort_by(compare)));
         }
         for h in handles {
+            // Propagate worker panics to the caller. lint: allow(unwrap)
             h.join().expect("par_sort_by run worker panicked");
         }
     });
@@ -213,6 +216,7 @@ where
                     handles.push(scope.spawn(move || merge_left_preferring(a, b, compare, dst)));
                 }
                 for h in handles {
+                    // Propagate worker panics to the caller. lint: allow(unwrap)
                     h.join().expect("par_sort_by merge worker panicked");
                 }
             });
@@ -225,6 +229,7 @@ where
             next.push(bounds[2 * p + 2]);
         }
         if bounds.len() % 2 == 0 {
+            // Non-empty: seeded with the run boundaries above. lint: allow(unwrap)
             next.push(*bounds.last().unwrap());
         }
         bounds = next;

@@ -80,7 +80,7 @@ impl Zipf {
         let u: f64 = rng.gen();
         match self
             .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
+            .binary_search_by(|c| c.total_cmp(&u))
         {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),

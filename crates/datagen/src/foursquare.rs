@@ -100,6 +100,18 @@ pub struct FoursquareSim {
     pub checkin_log: Vec<(TagId, Timestamp)>,
 }
 
+// Manual impl: the full check-in log and tag universe would swamp any
+// log line; a size summary is what callers actually want.
+impl std::fmt::Debug for FoursquareSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FoursquareSim")
+            .field("customers", &self.instance.customers().len())
+            .field("vendors", &self.instance.vendors().len())
+            .field("checkins", &self.checkin_log.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl FoursquareSim {
     /// Run the simulator.
     ///
@@ -221,7 +233,7 @@ impl FoursquareSim {
         }
         // Sort by time of day — the arrival stream the online algorithm
         // consumes (the paper folds all timestamps into one 24h day).
-        checkins.sort_by(|a, b| a.at.hours().partial_cmp(&b.at.hours()).unwrap());
+        checkins.sort_by(|a, b| a.at.hours().total_cmp(&b.at.hours()));
 
         // --- Interest vectors from each user's own history (Eq. 1–3).
         let interest_model = InterestModel::new(&taxonomy);

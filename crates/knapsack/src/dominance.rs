@@ -28,12 +28,7 @@ pub fn hull_indices(items: &[MckpItem]) -> Vec<usize> {
         items[a]
             .cost
             .cmp(&items[b].cost)
-            .then(
-                items[b]
-                    .profit
-                    .partial_cmp(&items[a].profit)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .then(items[b].profit.total_cmp(&items[a].profit))
             .then(a.cmp(&b))
     });
 

@@ -87,7 +87,7 @@ impl MckpLpGreedy {
         increments.sort_by(|a, b| {
             let ea = eff(a);
             let eb = eff(b);
-            eb.partial_cmp(&ea).unwrap_or(std::cmp::Ordering::Equal)
+            eb.total_cmp(&ea)
         });
 
         let mut remaining = problem.capacity();

@@ -1,0 +1,365 @@
+//! `muaa-lint` — the MUAA workspace's dependency-free determinism &
+//! safety static-analysis pass (DESIGN.md §13).
+//!
+//! The repo's core guarantee — bit-identical (0 ULP) solver outputs
+//! across the parallel/sequential configs and across the delta engine
+//! vs. a full rebuild — is enforced dynamically by the equivalence test
+//! suites. This crate enforces it *statically*: it walks every `.rs`
+//! file in the workspace with a hand-rolled lexer (no `syn`, no
+//! registry access) and rejects the construct classes that silently
+//! break the contract. See [`rules::RULES`] for the rule table and
+//! DESIGN.md §13 for the rationale.
+//!
+//! Three entry points, same pass:
+//!
+//! * `cargo run -p muaa-lint` — the CLI (CI runs this);
+//! * the `workspace_gate` integration test — plain `cargo test` gates it;
+//! * [`check_source`] — in-memory fixtures for the rule unit tests.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{FileAnalysis, UnsafeSite, Violation};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a full workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_checked: usize,
+    pub violations: Vec<Violation>,
+    /// Every `unsafe` occurrence (compliant or not) — the D3 audit table.
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+impl Report {
+    /// `true` iff the workspace passes.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render diagnostics plus the audit table and a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("{v}\n"));
+        }
+        if !self.unsafe_sites.is_empty() {
+            out.push_str("\nunsafe audit table (D3):\n");
+            out.push_str("  file:line:col                              SAFETY comment\n");
+            for s in &self.unsafe_sites {
+                out.push_str(&format!(
+                    "  {:<42} {}\n",
+                    format!("{}:{}:{}", s.file, s.line, s.col),
+                    if s.has_safety { "yes" } else { "MISSING" }
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "muaa-lint: {} files checked, {} violation(s), {} unsafe site(s)\n",
+            self.files_checked,
+            self.violations.len(),
+            self.unsafe_sites.len()
+        ));
+        out
+    }
+}
+
+/// Lint a single in-memory source file. `rel_path` decides which rules
+/// apply (see [`rules::RULES`] scopes) — the unit-test fixtures use
+/// paths like `crates/core/src/fixture.rs` to opt into a scope.
+pub fn check_source(rel_path: &str, src: &str) -> (Vec<Violation>, Vec<UnsafeSite>) {
+    rules::run_all(&FileAnalysis::new(rel_path, src))
+}
+
+/// Directories never linted: build output, VCS, editor state, and the
+/// quality-filtered reference snapshots which are not workspace code.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".claude", "related", "results"];
+
+/// Walk `root` and lint every workspace `.rs` file, deterministically
+/// (directory entries are visited in sorted order).
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let rel_unix = rel.to_string_lossy().replace('\\', "/");
+        let (violations, sites) = check_source(&rel_unix, &src);
+        report.files_checked += 1;
+        report.violations.extend(violations);
+        report.unsafe_sites.extend(sites);
+    }
+    report
+        .violations
+        .sort_by_key(|v| (v.file.clone(), v.line, v.col, v.rule));
+    report
+        .unsafe_sites
+        .sort_by_key(|s| (s.file.clone(), s.line, s.col));
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Find the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(rel_path: &str, src: &str) -> Vec<Violation> {
+        check_source(rel_path, src).0
+    }
+
+    fn rule_ids(rel_path: &str, src: &str) -> Vec<&'static str> {
+        violations(rel_path, src).iter().map(|v| v.rule).collect()
+    }
+
+    // ---- D1 ---------------------------------------------------------
+
+    #[test]
+    fn d1_flags_partial_cmp_in_sort_by() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let v = violations("crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "D1");
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].message.contains("total_cmp"));
+    }
+
+    #[test]
+    fn d1_flags_multi_line_comparator_closures() {
+        let src = "fn f(v: &mut Vec<(f64, u32)>) {\n    v.sort_by(|a, b| {\n        a.0\n            .partial_cmp(&b.0)\n            .unwrap_or(std::cmp::Ordering::Equal)\n    });\n}";
+        let v = violations("crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("D1", 4));
+    }
+
+    #[test]
+    fn d1_flags_binary_search_and_extrema_and_lt_style() {
+        for src in [
+            "fn f(v: &[f64], u: f64) { let _ = v.binary_search_by(|c| c.partial_cmp(&u).unwrap()); }",
+            "fn f(v: &[f64]) { let _ = v.iter().max_by(|a, b| a.partial_cmp(b).unwrap()); }",
+            "fn f(v: &mut [f64]) { v.sort_unstable_by(|a, b| if a.lt(b) { std::cmp::Ordering::Less } else { std::cmp::Ordering::Greater }); }",
+        ] {
+            assert_eq!(rule_ids("crates/x/src/a.rs", src), vec!["D1"], "missed in: {src}");
+        }
+    }
+
+    #[test]
+    fn d1_ignores_total_cmp_strings_and_comments() {
+        for src in [
+            "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }",
+            // The trap cases: partial_cmp in a string literal / comment.
+            "fn f() { let _ = \"v.sort_by(|a,b| a.partial_cmp(b))\"; }",
+            "fn f(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); /* partial_cmp would be wrong */ }",
+            // partial_cmp *outside* a comparator chain is D1-clean.
+            "fn f(a: f64, b: f64) -> bool { a.partial_cmp(&b).is_some() }",
+        ] {
+            assert!(rule_ids("crates/x/src/a.rs", src).is_empty(), "false positive in: {src}");
+        }
+    }
+
+    #[test]
+    fn d1_respects_allow_annotation() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    // lint: allow(partial_cmp)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        assert!(violations("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_applies_to_test_files_too() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(rule_ids("crates/x/tests/t.rs", src), vec!["D1"]);
+    }
+
+    // ---- D2 ---------------------------------------------------------
+
+    #[test]
+    fn d2_flags_hash_map_iteration_in_scoped_crates() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\nimpl S {\n    fn f(&self) -> Vec<u32> { self.m.keys().copied().collect() }\n}";
+        let v = violations("crates/core/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("D2", 4));
+    }
+
+    #[test]
+    fn d2_flags_for_loops_over_hash_sets() {
+        let src = "use std::collections::HashSet;\nfn f(s: HashSet<u32>) -> u32 {\n    let mut t = 0;\n    for x in &s { t += x; }\n    t\n}";
+        assert_eq!(rule_ids("crates/algorithms/src/a.rs", src), vec!["D2"]);
+    }
+
+    #[test]
+    fn d2_flags_let_bound_maps() {
+        let src = "use std::collections::HashMap;\nfn f() {\n    let mut m = HashMap::new();\n    m.insert(1u32, 2u32);\n    let _: Vec<_> = m.values().collect();\n}";
+        assert_eq!(rule_ids("crates/spatial/src/a.rs", src), vec!["D2"]);
+    }
+
+    #[test]
+    fn d2_ignores_lookups_out_of_scope_files_and_tests() {
+        let lookup = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\nimpl S { fn g(&self) -> Option<&u32> { self.m.get(&1) } }";
+        // Point lookups are deterministic — clean.
+        assert!(violations("crates/core/src/a.rs", lookup).is_empty());
+        let iter = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\nimpl S { fn g(&self) -> usize { self.m.iter().count() } }";
+        // Out-of-scope crate: clean.
+        assert!(violations("crates/datagen/src/a.rs", iter).is_empty());
+        // In-scope but inside #[cfg(test)]: clean.
+        let in_test = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests {\n    use super::*;\n    fn h(m: &HashMap<u32, u32>) -> usize { m.iter().count() }\n}";
+        assert!(violations("crates/core/src/a.rs", in_test).is_empty());
+        // Annotated: clean.
+        let allowed = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\nimpl S {\n    // order-insensitive fold; lint: allow(hash_iter)\n    fn g(&self) -> u32 { self.m.values().sum() }\n}";
+        assert!(violations("crates/core/src/a.rs", allowed).is_empty());
+    }
+
+    // ---- D3 ---------------------------------------------------------
+
+    #[test]
+    fn d3_flags_unsafe_without_safety_comment() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let (v, sites) = check_source("crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "D3");
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].has_safety);
+    }
+
+    #[test]
+    fn d3_accepts_immediately_preceding_safety_comment() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}";
+        let (v, sites) = check_source("crates/x/src/a.rs", src);
+        assert!(v.is_empty());
+        assert!(sites[0].has_safety);
+        // Multi-line SAFETY blocks also count.
+        let multi = "fn f(p: *const u8) -> u8 {\n    // SAFETY: p comes from a live Vec\n    // and is non-null by construction.\n    unsafe { *p }\n}";
+        assert!(check_source("crates/x/src/a.rs", multi).0.is_empty());
+    }
+
+    #[test]
+    fn d3_ignores_unsafe_in_doc_comments_and_strings() {
+        for src in [
+            "/// Never call `unsafe` code from here.\nfn f() {}",
+            "fn f() -> &'static str { \"unsafe { }\" }",
+        ] {
+            let (v, sites) = check_source("crates/x/src/a.rs", src);
+            assert!(v.is_empty(), "false positive in: {src}");
+            assert!(sites.is_empty());
+        }
+    }
+
+    // ---- D4 ---------------------------------------------------------
+
+    #[test]
+    fn d4_flags_unwrap_and_expect_in_library_code() {
+        let src = "fn f(v: Vec<u32>) -> u32 { *v.first().unwrap() }\nfn g(v: Vec<u32>) -> u32 { *v.first().expect(\"non-empty\") }";
+        let v = violations("crates/core/src/a.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.rule == "D4"));
+    }
+
+    #[test]
+    fn d4_skips_tests_bins_annotations_and_other_crates() {
+        let src = "fn f(v: Vec<u32>) -> u32 { *v.first().unwrap() }";
+        // Other crates and bin/test collateral are out of scope.
+        for path in [
+            "crates/algorithms/src/a.rs",
+            "crates/core/src/bin/tool.rs",
+            "crates/core/tests/t.rs",
+            "src/main.rs",
+        ] {
+            assert!(violations(path, src).is_empty(), "false positive for {path}");
+        }
+        // #[test] fns inside library files are skipped.
+        let test_fn = "fn lib() {}\n#[test]\nfn t() { Some(1).unwrap(); }";
+        assert!(violations("crates/core/src/a.rs", test_fn).is_empty());
+        // Annotated invariants pass.
+        let allowed =
+            "fn f(v: Vec<u32>) -> u32 {\n    // invariant: built non-empty; lint: allow(unwrap)\n    *v.first().unwrap()\n}";
+        assert!(violations("crates/spatial/src/a.rs", allowed).is_empty());
+        // unwrap_or and friends are not unwrap.
+        let or = "fn f(v: Vec<u32>) -> u32 { v.first().copied().unwrap_or(0) }";
+        assert!(violations("crates/core/src/a.rs", or).is_empty());
+    }
+
+    // ---- D5 ---------------------------------------------------------
+
+    #[test]
+    fn d5_flags_unpaired_parallel_cfg() {
+        let src = "#[cfg(feature = \"parallel\")]\nfn fan_out() {}\n";
+        let v = violations("crates/core/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("D5", 1));
+    }
+
+    #[test]
+    fn d5_accepts_paired_or_annotated_cfg() {
+        let paired = "#[cfg(feature = \"parallel\")]\nfn go() { threads() }\n#[cfg(not(feature = \"parallel\"))]\nfn go() { serial() }\n";
+        assert!(violations("crates/core/src/a.rs", paired).is_empty());
+        let annotated = "// lint: allow(par_only)\n#[cfg(feature = \"parallel\")]\nuse std::thread;\n";
+        assert!(violations("crates/core/src/a.rs", annotated).is_empty());
+        // Other features are not this rule's business.
+        let other = "#[cfg(feature = \"serde\")]\nfn s() {}\n";
+        assert!(violations("crates/core/src/a.rs", other).is_empty());
+    }
+
+    // ---- engine -----------------------------------------------------
+
+    #[test]
+    fn self_check_own_sources_pass() {
+        // The linter lints itself: its sources mention every banned
+        // construct, but only inside string literals and comments.
+        for (path, src) in [
+            ("crates/lint/src/lexer.rs", include_str!("lexer.rs")),
+            ("crates/lint/src/rules.rs", include_str!("rules.rs")),
+            ("crates/lint/src/lib.rs", include_str!("lib.rs")),
+            ("crates/lint/src/main.rs", include_str!("main.rs")),
+        ] {
+            let (v, sites) = check_source(path, src);
+            assert!(v.is_empty(), "muaa-lint fails its own pass in {path}: {v:?}");
+            assert!(sites.is_empty(), "unexpected unsafe in {path}");
+        }
+    }
+
+    #[test]
+    fn violations_render_file_line_col_rule_and_snippet() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let v = violations("crates/x/src/a.rs", src);
+        let rendered = format!("{}", v[0]);
+        assert!(rendered.starts_with("crates/x/src/a.rs:1:"), "{rendered}");
+        assert!(rendered.contains("[D1]"));
+        assert!(rendered.contains("sort_by"), "snippet missing: {rendered}");
+    }
+}

@@ -1,0 +1,801 @@
+//! The MUAA rule set (DESIGN.md §13): five repo-specific determinism
+//! and safety rules, declared in [`RULES`] with per-path allowlists and
+//! applied over the token stream from [`crate::lexer`].
+//!
+//! | id | guards | escape hatch |
+//! |----|--------|--------------|
+//! | D1 | no `partial_cmp`/`lt`-style comparators in sort/search/extrema call chains | `// lint: allow(partial_cmp)` |
+//! | D2 | no `HashMap`/`HashSet` iteration in solver-path crates | `// lint: allow(hash_iter)` |
+//! | D3 | every `unsafe` needs an immediately preceding `// SAFETY:` | (the comment itself) |
+//! | D4 | no `.unwrap()`/`.expect()` in core/spatial library code | `// lint: allow(unwrap)` |
+//! | D5 | every `#[cfg(feature = "parallel")]` needs a `not(...)` counterpart | `// lint: allow(par_only)` |
+//!
+//! D1/D2 exist because the repo's 0-ULP parallel/sequential and
+//! delta-vs-rebuild guarantees die silently when a float comparator is
+//! non-total (NaN makes `sort_by` order unspecified) or when a merge
+//! order depends on hash-table iteration. D5 keeps the
+//! `--no-default-features` build honest. An annotation applies to its
+//! own line and the line directly below it.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Methods whose closure argument is an ordering decision: a
+/// `partial_cmp` inside any of these is a determinism hazard.
+const COMPARATOR_METHODS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "select_nth_unstable_by",
+    "binary_search_by",
+    "max_by",
+    "min_by",
+];
+
+/// `PartialOrd::lt`-style methods — also non-total on floats.
+const PARTIAL_ORD_METHODS: &[&str] = &["lt", "le", "gt", "ge"];
+
+/// `HashMap`/`HashSet` methods whose visit order is nondeterministic.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+    "extract_if",
+];
+
+/// One rule's declaration: scope (path prefixes/substrings) plus the
+/// annotation key that waives it.
+#[derive(Debug)]
+pub struct RuleSpec {
+    pub id: &'static str,
+    pub summary: &'static str,
+    /// `// lint: allow(<key>)` waives this rule on that line / the next.
+    pub allow_key: &'static str,
+    /// Workspace-relative path prefixes the rule applies to (empty =
+    /// every file).
+    pub include: &'static [&'static str],
+    /// Path substrings that exempt a file.
+    pub exclude: &'static [&'static str],
+    /// Skip `#[cfg(test)]` / `#[test]` regions and `tests/`/`benches/`
+    /// files.
+    pub skip_test_code: bool,
+}
+
+/// The rule table. Scopes mirror the determinism contract: D2/D4 bind
+/// the crates on the solver path, D1/D3/D5 bind the whole tree.
+pub const RULES: &[RuleSpec] = &[
+    RuleSpec {
+        id: "D1",
+        summary: "non-total float comparator (use f64::total_cmp)",
+        allow_key: "partial_cmp",
+        include: &[],
+        exclude: &[],
+        skip_test_code: false,
+    },
+    RuleSpec {
+        id: "D2",
+        summary: "HashMap/HashSet iteration on the solver path (use BTreeMap or a sorted Vec)",
+        allow_key: "hash_iter",
+        include: &[
+            "crates/core/src/",
+            "crates/algorithms/src/",
+            "crates/spatial/src/",
+        ],
+        exclude: &[],
+        skip_test_code: true,
+    },
+    RuleSpec {
+        id: "D3",
+        summary: "unsafe without an immediately preceding // SAFETY: comment",
+        allow_key: "", // the SAFETY comment is the escape hatch
+        include: &[],
+        exclude: &[],
+        skip_test_code: false,
+    },
+    RuleSpec {
+        id: "D4",
+        summary: ".unwrap()/.expect() in library code (return an error or annotate)",
+        allow_key: "unwrap",
+        include: &["crates/core/src/", "crates/spatial/src/"],
+        exclude: &["/bin/", "main.rs"],
+        skip_test_code: true,
+    },
+    RuleSpec {
+        id: "D5",
+        summary: "#[cfg(feature = \"parallel\")] without a not(...) counterpart",
+        allow_key: "par_only",
+        include: &["crates/", "src/"],
+        exclude: &["/tests/", "/benches/"],
+        skip_test_code: true,
+    },
+];
+
+/// A diagnostic: `file:line:col`, rule id, and the offending line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.col, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// One `unsafe` occurrence, for the D3 audit table.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub has_safety: bool,
+}
+
+/// Everything the rules need to know about one source file.
+pub struct FileAnalysis {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    lines: Vec<String>,
+    tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens.
+    code: Vec<usize>,
+    /// line → annotation keys allowed there.
+    allow: BTreeMap<u32, BTreeSet<String>>,
+    /// Lines touched by any comment.
+    comment_lines: BTreeSet<u32>,
+    /// Lines touched by a comment containing `SAFETY:`.
+    safety_lines: BTreeSet<u32>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(u32, u32)>,
+    /// Whole file is test collateral (`tests/`, `benches/`).
+    path_is_test: bool,
+}
+
+impl std::fmt::Debug for FileAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileAnalysis")
+            .field("rel_path", &self.rel_path)
+            .field("tokens", &self.tokens.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FileAnalysis {
+    /// Lex and pre-index `src` (annotations, SAFETY comments, test
+    /// regions). `rel_path` should be workspace-relative with `/`
+    /// separators — it drives every scope decision.
+    pub fn new(rel_path: &str, src: &str) -> Self {
+        let tokens = lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let mut allow: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+        let mut comment_lines = BTreeSet::new();
+        let mut safety_lines = BTreeSet::new();
+        for t in &tokens {
+            if !t.is_comment() {
+                continue;
+            }
+            let span = t.line..=t.line + t.text.matches('\n').count() as u32;
+            for l in span.clone() {
+                comment_lines.insert(l);
+            }
+            if t.text.contains("SAFETY:") {
+                for l in span.clone() {
+                    safety_lines.insert(l);
+                }
+            }
+            for key in parse_allow_keys(&t.text) {
+                // Register on both the first and last comment line so
+                // trailing and above-the-line placements both work.
+                allow.entry(t.line).or_default().insert(key.clone());
+                allow.entry(*span.end()).or_default().insert(key);
+            }
+        }
+        let path_is_test = rel_path.contains("/tests/")
+            || rel_path.starts_with("tests/")
+            || rel_path.contains("/benches/");
+        let mut fa = FileAnalysis {
+            rel_path: rel_path.to_string(),
+            lines: src.lines().map(str::to_string).collect(),
+            tokens,
+            code,
+            allow,
+            comment_lines,
+            safety_lines,
+            test_ranges: Vec::new(),
+            path_is_test,
+        };
+        fa.test_ranges = fa.compute_test_ranges();
+        fa
+    }
+
+    fn tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Is `key` waived on `line` (annotation there or on the line above)?
+    fn allowed(&self, key: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.allow.get(l).is_some_and(|keys| keys.contains(key)))
+    }
+
+    /// Is `line` inside test collateral?
+    fn in_test(&self, line: u32) -> bool {
+        self.path_is_test || self.test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    fn violation(&self, rule: &'static str, line: u32, col: u32, message: String) -> Violation {
+        let snippet = self
+            .lines
+            .get(line as usize - 1)
+            .map(|l| l.trim())
+            .unwrap_or("")
+            .chars()
+            .take(120)
+            .collect();
+        Violation {
+            rule,
+            file: self.rel_path.clone(),
+            line,
+            col,
+            message,
+            snippet,
+        }
+    }
+
+    /// Line ranges of `#[cfg(test)]` / `#[test]` items: attribute to the
+    /// closing brace (or `;`) of the annotated item.
+    fn compute_test_ranges(&self) -> Vec<(u32, u32)> {
+        let mut ranges = Vec::new();
+        let n = self.code.len();
+        let mut ci = 0;
+        while ci < n {
+            if !self.tok(ci).is_punct('#') {
+                ci += 1;
+                continue;
+            }
+            let mut j = ci + 1;
+            let inner = j < n && self.tok(j).is_punct('!');
+            if inner {
+                j += 1;
+            }
+            if j >= n || !self.tok(j).is_punct('[') {
+                ci += 1;
+                continue;
+            }
+            let Some((attr, end)) = self.collect_attr(j) else {
+                ci += 1;
+                continue;
+            };
+            if !is_test_attr(&attr) {
+                ci = end + 1;
+                continue;
+            }
+            let attr_line = self.tok(ci).line;
+            if inner {
+                // `#![cfg(test)]`: the whole enclosing scope is test.
+                ranges.push((1, u32::MAX));
+                return ranges;
+            }
+            // Skip any further attributes on the same item.
+            let mut k = end + 1;
+            while k + 1 < n && self.tok(k).is_punct('#') && self.tok(k + 1).is_punct('[') {
+                match self.collect_attr(k + 1) {
+                    Some((_, e)) => k = e + 1,
+                    None => break,
+                }
+            }
+            // Find the item's end: `;` or a braced body at depth 0.
+            let mut depth = 0i32;
+            while k < n {
+                let t = self.tok(k);
+                match t.kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                    TokenKind::Punct(';') if depth == 0 => {
+                        ranges.push((attr_line, t.line));
+                        break;
+                    }
+                    TokenKind::Punct('{') if depth == 0 => {
+                        let close = self.match_brace(k);
+                        ranges.push((attr_line, self.tok(close.min(n - 1)).line));
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            ci = end + 1;
+        }
+        ranges
+    }
+
+    /// From the code index of a `[`, return the attribute's inner tokens
+    /// (cloned) and the code index of the matching `]`.
+    fn collect_attr(&self, open: usize) -> Option<(Vec<Token>, usize)> {
+        let mut depth = 0i32;
+        let mut out = Vec::new();
+        for k in open..self.code.len() {
+            let t = self.tok(k);
+            match t.kind {
+                TokenKind::Punct('[') => {
+                    depth += 1;
+                    if depth > 1 {
+                        out.push(t.clone());
+                    }
+                }
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((out, k));
+                    }
+                    out.push(t.clone());
+                }
+                _ => {
+                    if depth >= 1 {
+                        out.push(t.clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Code index of the `}` matching the `{` at code index `open` (or
+    /// the last token if unterminated).
+    fn match_brace(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        for k in open..self.code.len() {
+            match self.tok(k).kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Is there a `// SAFETY:` comment on `line` or immediately above it
+    /// (walking up through a contiguous comment block)?
+    fn safety_before(&self, line: u32) -> bool {
+        if self.safety_lines.contains(&line) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && self.comment_lines.contains(&l) {
+            if self.safety_lines.contains(&l) {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+}
+
+/// Extract every `lint: allow(key)` from a comment body.
+fn parse_allow_keys(comment: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        rest = &rest[pos + "lint: allow(".len()..];
+        if let Some(close) = rest.find(')') {
+            keys.push(rest[..close].trim().to_string());
+            rest = &rest[close..];
+        } else {
+            break;
+        }
+    }
+    keys
+}
+
+/// `#[test]` or exactly `#[cfg(test)]`.
+fn is_test_attr(attr: &[Token]) -> bool {
+    match attr {
+        [t] => t.is_ident("test"),
+        [c, o, t, p] => {
+            c.is_ident("cfg") && o.is_punct('(') && t.is_ident("test") && p.is_punct(')')
+        }
+        _ => false,
+    }
+}
+
+/// Does `spec` govern this file?
+fn applies(spec: &RuleSpec, rel_path: &str) -> bool {
+    let included =
+        spec.include.is_empty() || spec.include.iter().any(|p| rel_path.starts_with(p));
+    included && !spec.exclude.iter().any(|p| rel_path.contains(p))
+}
+
+fn spec(id: &str) -> &'static RuleSpec {
+    RULES.iter().find(|r| r.id == id).expect("known rule id")
+}
+
+/// Run every applicable rule over one analysed file.
+pub fn run_all(fa: &FileAnalysis) -> (Vec<Violation>, Vec<UnsafeSite>) {
+    let mut violations = Vec::new();
+    let mut unsafe_sites = Vec::new();
+    if applies(spec("D1"), &fa.rel_path) {
+        violations.extend(d1_float_comparators(fa));
+    }
+    if applies(spec("D2"), &fa.rel_path) {
+        violations.extend(d2_hash_iteration(fa));
+    }
+    if applies(spec("D3"), &fa.rel_path) {
+        let (v, sites) = d3_unsafe_safety(fa);
+        violations.extend(v);
+        unsafe_sites.extend(sites);
+    }
+    if applies(spec("D4"), &fa.rel_path) {
+        violations.extend(d4_unwrap(fa));
+    }
+    if applies(spec("D5"), &fa.rel_path) {
+        violations.extend(d5_cfg_pairs(fa));
+    }
+    violations.sort_by_key(|v| (v.line, v.col, v.rule));
+    violations.dedup_by_key(|v| (v.line, v.col, v.rule));
+    (violations, unsafe_sites)
+}
+
+/// D1: `partial_cmp` (or `lt`/`le`/`gt`/`ge` calls) inside the closure
+/// of a sort/search/extrema method. Token-accurate: multi-line closures
+/// are caught, string literals are not.
+fn d1_float_comparators(fa: &FileAnalysis) -> Vec<Violation> {
+    let rule = spec("D1");
+    let mut out = Vec::new();
+    let n = fa.code.len();
+    for ci in 0..n {
+        let t = fa.tok(ci);
+        if t.kind != TokenKind::Ident || !COMPARATOR_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if ci + 1 >= n || !fa.tok(ci + 1).is_punct('(') {
+            continue;
+        }
+        // Walk the argument list of the comparator-taking method.
+        let mut depth = 0i32;
+        let mut j = ci + 1;
+        while j < n {
+            let u = fa.tok(j);
+            match u.kind {
+                TokenKind::Punct('(') => depth += 1,
+                TokenKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident => {
+                    let name = u.text.as_str();
+                    let called = name == "partial_cmp"
+                        || (PARTIAL_ORD_METHODS.contains(&name)
+                            && j + 1 < n
+                            && fa.tok(j + 1).is_punct('('));
+                    let is_method = j > 0 && fa.tok(j - 1).is_punct('.');
+                    if called && is_method && !fa.allowed(rule.allow_key, u.line) {
+                        out.push(fa.violation(
+                            rule.id,
+                            u.line,
+                            u.col,
+                            format!(
+                                "`{name}` inside `{}` is not a total order on floats; \
+                                 use `f64::total_cmp` (or `Ord::cmp`)",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// D2: iteration over names declared as `HashMap`/`HashSet` in this
+/// file (field types, `let` ascriptions, or `= HashMap::…` inits),
+/// either via order-nondeterministic methods or `for … in map`.
+fn d2_hash_iteration(fa: &FileAnalysis) -> Vec<Violation> {
+    let rule = spec("D2");
+    let n = fa.code.len();
+    // Pass A: names with hash-table types.
+    let mut hash_names: BTreeSet<String> = BTreeSet::new();
+    for ci in 0..n {
+        let t = fa.tok(ci);
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // `name = HashMap::new()` (incl. `let mut name = …`).
+        if ci >= 2 && fa.tok(ci - 1).is_punct('=') && fa.tok(ci - 2).kind == TokenKind::Ident {
+            hash_names.insert(fa.tok(ci - 2).text.clone());
+            continue;
+        }
+        // `name: [path::]HashMap<…>` — walk back over the path prefix.
+        let mut j = ci;
+        while j >= 3
+            && fa.tok(j - 1).is_punct(':')
+            && fa.tok(j - 2).is_punct(':')
+            && fa.tok(j - 3).kind == TokenKind::Ident
+        {
+            j -= 3;
+        }
+        if j >= 2
+            && fa.tok(j - 1).is_punct(':')
+            && !fa.tok(j - 2).is_punct(':')
+            && fa.tok(j - 2).kind == TokenKind::Ident
+        {
+            hash_names.insert(fa.tok(j - 2).text.clone());
+        }
+    }
+    if hash_names.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // Pass B1: `name.iter()`-style calls.
+    for ci in 0..n.saturating_sub(2) {
+        let recv = fa.tok(ci);
+        if recv.kind != TokenKind::Ident || !hash_names.contains(&recv.text) {
+            continue;
+        }
+        if !fa.tok(ci + 1).is_punct('.') {
+            continue;
+        }
+        let m = fa.tok(ci + 2);
+        if m.kind == TokenKind::Ident && HASH_ITER_METHODS.contains(&m.text.as_str()) {
+            if rule.skip_test_code && fa.in_test(m.line) {
+                continue;
+            }
+            if !fa.allowed(rule.allow_key, m.line) {
+                out.push(fa.violation(
+                    rule.id,
+                    m.line,
+                    m.col,
+                    format!(
+                        "iteration over hash table `{}` (`.{}`) has nondeterministic order; \
+                         use BTreeMap/BTreeSet or a sorted Vec",
+                        recv.text, m.text
+                    ),
+                ));
+            }
+        }
+    }
+    // Pass B2: `for … in [&[mut]] [path.]name {`.
+    for ci in 0..n {
+        if !fa.tok(ci).is_ident("for") {
+            continue;
+        }
+        // Find `in` at depth 0, bailing at `{`/`;` (not a for loop).
+        let mut depth = 0i32;
+        let mut j = ci + 1;
+        let header_start = loop {
+            if j >= n {
+                break None;
+            }
+            let u = fa.tok(j);
+            match u.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') | TokenKind::Punct(';') if depth == 0 => break None,
+                TokenKind::Ident if depth == 0 && u.text == "in" => break Some(j + 1),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(hs) = header_start else { continue };
+        // The iterated expression runs to the body `{` at depth 0.
+        depth = 0;
+        let mut k = hs;
+        while k < n {
+            let u = fa.tok(k);
+            match u.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        // Flag `for x in map` / `for x in &map`: the map name is the
+        // final header token (method chains are covered by pass B1).
+        if k > hs && k <= n {
+            let last = fa.tok(k - 1);
+            if last.kind == TokenKind::Ident && hash_names.contains(&last.text) {
+                if rule.skip_test_code && fa.in_test(last.line) {
+                    continue;
+                }
+                if !fa.allowed(rule.allow_key, last.line) {
+                    out.push(fa.violation(
+                        rule.id,
+                        last.line,
+                        last.col,
+                        format!(
+                            "`for … in {}` iterates a hash table in nondeterministic order; \
+                             use BTreeMap/BTreeSet or a sorted Vec",
+                            last.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// D3: every `unsafe` keyword needs a `// SAFETY:` comment on the same
+/// line or immediately above. All sites are returned for the audit
+/// table regardless of compliance.
+fn d3_unsafe_safety(fa: &FileAnalysis) -> (Vec<Violation>, Vec<UnsafeSite>) {
+    let rule = spec("D3");
+    let mut violations = Vec::new();
+    let mut sites = Vec::new();
+    for ci in 0..fa.code.len() {
+        let t = fa.tok(ci);
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let has_safety = fa.safety_before(t.line);
+        sites.push(UnsafeSite {
+            file: fa.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            has_safety,
+        });
+        if !has_safety {
+            violations.push(fa.violation(
+                rule.id,
+                t.line,
+                t.col,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+    (violations, sites)
+}
+
+/// D4: `.unwrap()` / `.expect(…)` in library code.
+fn d4_unwrap(fa: &FileAnalysis) -> Vec<Violation> {
+    let rule = spec("D4");
+    let mut out = Vec::new();
+    let n = fa.code.len();
+    for ci in 1..n.saturating_sub(1) {
+        let t = fa.tok(ci);
+        if t.kind != TokenKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+            continue;
+        }
+        if !fa.tok(ci - 1).is_punct('.') || !fa.tok(ci + 1).is_punct('(') {
+            continue;
+        }
+        if rule.skip_test_code && fa.in_test(t.line) {
+            continue;
+        }
+        if fa.allowed(rule.allow_key, t.line) {
+            continue;
+        }
+        out.push(fa.violation(
+            rule.id,
+            t.line,
+            t.col,
+            format!(
+                "`.{}()` in library code; return an error or annotate the invariant \
+                 with `// lint: allow(unwrap)`",
+                t.text
+            ),
+        ));
+    }
+    out
+}
+
+/// D5: per file, every `#[cfg(feature = "parallel")]` must be matched
+/// (count-wise) by a `#[cfg(not(feature = "parallel"))]` — otherwise a
+/// `--no-default-features` build silently loses the item.
+fn d5_cfg_pairs(fa: &FileAnalysis) -> Vec<Violation> {
+    let rule = spec("D5");
+    let n = fa.code.len();
+    let mut positives: Vec<(u32, u32)> = Vec::new();
+    let mut negatives = 0usize;
+    let mut ci = 0;
+    while ci < n {
+        if !fa.tok(ci).is_punct('#') {
+            ci += 1;
+            continue;
+        }
+        let mut j = ci + 1;
+        if j < n && fa.tok(j).is_punct('!') {
+            j += 1;
+        }
+        if j >= n || !fa.tok(j).is_punct('[') {
+            ci += 1;
+            continue;
+        }
+        let Some((attr, end)) = fa.collect_attr(j) else {
+            ci += 1;
+            continue;
+        };
+        let site = fa.tok(ci);
+        match classify_parallel_cfg(&attr) {
+            Some(false) => {
+                // Allowed or test-region positives drop out of the
+                // pairing count entirely.
+                if !(rule.skip_test_code && fa.in_test(site.line))
+                    && !fa.allowed(rule.allow_key, site.line)
+                {
+                    positives.push((site.line, site.col));
+                }
+            }
+            Some(true) => negatives += 1,
+            None => {}
+        }
+        ci = end + 1;
+    }
+    positives
+        .iter()
+        .skip(negatives)
+        .map(|&(line, col)| {
+            fa.violation(
+                rule.id,
+                line,
+                col,
+                "`#[cfg(feature = \"parallel\")]` without a matching \
+                 `#[cfg(not(feature = \"parallel\"))]` counterpart in this file \
+                 (or `// lint: allow(par_only)`)"
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+/// `Some(negated)` if the attribute is `cfg((not()?feature = "parallel")`.
+fn classify_parallel_cfg(attr: &[Token]) -> Option<bool> {
+    let feature_eq_parallel = |t: &[Token]| -> bool {
+        t.len() == 3
+            && t[0].is_ident("feature")
+            && t[1].is_punct('=')
+            && t[2].kind == TokenKind::Str
+            && t[2].text == "\"parallel\""
+    };
+    if attr.len() == 6
+        && attr[0].is_ident("cfg")
+        && attr[1].is_punct('(')
+        && feature_eq_parallel(&attr[2..5])
+        && attr[5].is_punct(')')
+    {
+        return Some(false);
+    }
+    if attr.len() == 9
+        && attr[0].is_ident("cfg")
+        && attr[1].is_punct('(')
+        && attr[2].is_ident("not")
+        && attr[3].is_punct('(')
+        && feature_eq_parallel(&attr[4..7])
+        && attr[7].is_punct(')')
+        && attr[8].is_punct(')')
+    {
+        return Some(true);
+    }
+    None
+}

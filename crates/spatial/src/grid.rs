@@ -303,11 +303,12 @@ impl GridIndex {
     }
 
     fn remove_extra(&mut self, cell: u32, id: u32) {
+        // Present by construction: remove mirrors a prior insert. lint: allow(unwrap)
         let list = self.extra.get_mut(&cell).expect("overflow cell missing");
         let pos = list
             .iter()
             .position(|&e| e == id)
-            .expect("overflow entry missing");
+            .expect("overflow entry missing"); // mirrors insert; lint: allow(unwrap)
         list.remove(pos);
         if list.is_empty() {
             self.extra.remove(&cell);
@@ -472,10 +473,12 @@ impl GridIndex {
                         (None, None) => break,
                     };
                     if take_base {
+                        // Peeked Some on this branch. lint: allow(unwrap)
                         let slot = base.next().unwrap();
                         let d2 = Point::new(self.xs[slot], self.ys[slot]).distance_sq(&center);
                         f(self.slot_ids[slot], d2);
                     } else {
+                        // Peeked Some on this branch. lint: allow(unwrap)
                         let oid = over.next().unwrap();
                         let d2 = self.points[oid as usize].distance_sq(&center);
                         f(oid, d2);
@@ -532,11 +535,7 @@ impl GridIndex {
             .iter()
             .map(|&i| (self.points[i as usize].distance_sq(&center), i))
             .collect();
-        scored.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         scored.truncate(k);
         // The k-th candidate's distance bounds the true answer; re-query
         // at that radius in case the ring expansion overshot cells.
@@ -548,11 +547,7 @@ impl GridIndex {
                     .iter()
                     .map(|&i| (self.points[i as usize].distance_sq(&center), i))
                     .collect();
-                scored.sort_by(|a, b| {
-                    a.0.partial_cmp(&b.0)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.1.cmp(&b.1))
-                });
+                scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 scored.truncate(k);
             }
         }
@@ -573,6 +568,122 @@ impl GridIndex {
     /// the next [`compact`](Self::compact) will clear. Test/bench hook.
     pub fn garbage(&self) -> usize {
         self.dead_count + self.extra_count
+    }
+
+    /// Validate the index's structural invariants (DESIGN.md §13): CSR
+    /// layout (monotone offsets, aligned array lengths), the
+    /// tombstone/overflow counters, the `slot_of` ↔ `slot_ids`
+    /// bijection over live entries, per-cell ascending-id order in both
+    /// base runs and overflow lists, and that the incrementally
+    /// maintained live bounds and pin counts match a from-scratch scan.
+    /// A no-op unless `debug_assertions` are on; the mutation proptests
+    /// call it after every delta.
+    pub fn debug_validate(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let n = self.points.len();
+        let slots = self.slot_ids.len();
+        let cells = self.cols * self.rows;
+        assert_eq!(self.xs.len(), slots, "xs must align with slot_ids");
+        assert_eq!(self.ys.len(), slots, "ys must align with slot_ids");
+        assert_eq!(self.dead.len(), slots, "dead must align with slot_ids");
+        assert_eq!(self.slot_of.len(), n, "slot_of must cover every id");
+        assert_eq!(self.cell_off.len(), cells + 1, "one offset per cell plus the end cap");
+        assert_eq!(self.cell_off[0], 0, "CSR offsets start at zero");
+        assert!(
+            self.cell_off.windows(2).all(|w| w[0] <= w[1]),
+            "cell_off must be monotone non-decreasing"
+        );
+        assert_eq!(self.cell_off[cells] as usize, slots, "final offset caps the slot array");
+        assert_eq!(
+            self.dead_count,
+            self.dead.iter().filter(|&&d| d).count(),
+            "dead_count drifted from the tombstone tally"
+        );
+        // Counter/ordering validation over the overflow lists — order
+        // of the map walk cannot affect the result. lint: allow(hash_iter)
+        let overflow: usize = self.extra.values().map(Vec::len).sum();
+        assert_eq!(self.extra_count, overflow, "extra_count drifted from the overflow tally");
+        // lint: allow(hash_iter)
+        for (&cell, list) in &self.extra {
+            assert!((cell as usize) < cells, "overflow cell {cell} out of range");
+            assert!(!list.is_empty(), "empty overflow lists must be pruned");
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "overflow list of cell {cell} is not strictly ascending"
+            );
+            for &id in list {
+                assert!((id as usize) < n, "overflow id {id} out of range");
+                assert_eq!(
+                    self.slot_of[id as usize], NO_SLOT,
+                    "id {id} is filed both in a base slot and in overflow"
+                );
+                assert_eq!(
+                    self.cell_index(&self.points[id as usize]),
+                    cell,
+                    "overflow id {id} filed under the wrong cell"
+                );
+            }
+        }
+        let mut live_slots = 0usize;
+        for s in 0..slots {
+            if self.dead[s] {
+                continue;
+            }
+            live_slots += 1;
+            let id = self.slot_ids[s] as usize;
+            assert!(id < n, "live slot {s} names out-of-range id {id}");
+            assert_eq!(self.slot_of[id], s as u32, "live slot {s} not mirrored by slot_of");
+            assert_eq!(
+                self.xs[s].to_bits(),
+                self.points[id].x.to_bits(),
+                "slot {s} x coordinate drifted from points[{id}]"
+            );
+            assert_eq!(
+                self.ys[s].to_bits(),
+                self.points[id].y.to_bits(),
+                "slot {s} y coordinate drifted from points[{id}]"
+            );
+            let cell = self.cell_index(&self.points[id]) as usize;
+            assert!(
+                (self.cell_off[cell] as usize..self.cell_off[cell + 1] as usize).contains(&s),
+                "live slot {s} sits outside its cell's run"
+            );
+        }
+        assert_eq!(
+            live_slots + self.extra_count,
+            n,
+            "every id must be in exactly one of base slots and overflow"
+        );
+        for cell in 0..cells {
+            let run = self.cell_off[cell] as usize..self.cell_off[cell + 1] as usize;
+            let mut prev: Option<u32> = None;
+            for s in run {
+                if self.dead[s] {
+                    continue;
+                }
+                if let Some(p) = prev {
+                    assert!(
+                        p < self.slot_ids[s],
+                        "live ids of cell {cell} are not ascending"
+                    );
+                }
+                prev = Some(self.slot_ids[s]);
+            }
+        }
+        if n > 0 {
+            let fresh = bounds(&self.points);
+            assert_eq!(
+                self.live_bounds, fresh,
+                "live_bounds drifted from a from-scratch scan"
+            );
+            assert_eq!(
+                self.extreme_counts,
+                count_extremes(&self.points, fresh),
+                "extreme_counts drifted from a from-scratch scan"
+            );
+        }
     }
 }
 
@@ -766,7 +877,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, p)| (p.distance_sq(&q), i as u32))
                 .collect();
-            brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            brute.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let expect: Vec<u32> = brute.iter().take(7).map(|&(_, i)| i).collect();
             assert_eq!(got, expect);
         }

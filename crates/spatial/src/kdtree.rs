@@ -113,11 +113,7 @@ impl KdTree {
         // Max-heap of (dist_sq, index) keeping the k best.
         let mut heap: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
         self.nearest_rec(0, self.points.len(), center, k, &mut heap);
-        heap.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         heap.into_iter().map(|(_, i)| i).collect()
     }
 
@@ -164,11 +160,7 @@ fn consider(heap: &mut Vec<(f64, u32)>, k: usize, d2: f64, idx: u32) {
     if heap.len() < k {
         heap.push((d2, idx));
         if heap.len() == k {
-            heap.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.1.cmp(&b.1))
-            });
+            heap.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         }
         return;
     }
@@ -222,9 +214,7 @@ fn build(entries: &mut [(u32, Point)], axes: &mut [u8], offset: usize) {
         } else {
             (a.1.y, b.1.y)
         };
-        ka.partial_cmp(&kb)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
+        ka.total_cmp(&kb).then(a.0.cmp(&b.0))
     });
     // The absolute position of this node in the flattened layout is
     // offset + mid.
@@ -300,8 +290,37 @@ mod tests {
                 .enumerate()
                 .map(|(i, p)| (p.distance_sq(&q), i as u32))
                 .collect();
-            brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            brute.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let expect: Vec<u32> = brute.into_iter().take(k).map(|(_, i)| i).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    /// Pins the D1 migration (DESIGN.md §13): on non-NaN keys the
+    /// `total_cmp` comparators order exactly as the old
+    /// `partial_cmp(..).unwrap()` ones did, so k-NN and range outputs
+    /// are unchanged.
+    #[test]
+    fn total_cmp_migration_preserves_knn_order() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(91);
+        let points: Vec<Point> = (0..400).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        let t = KdTree::new(points.clone());
+        for _ in 0..25 {
+            let q = Point::new(rng.gen(), rng.gen());
+            let mut new_order: Vec<(f64, u32)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.distance_sq(&q), i as u32))
+                .collect();
+            let mut old_order = new_order.clone();
+            new_order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            // The pre-migration comparator. lint: allow(partial_cmp)
+            old_order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            assert_eq!(new_order, old_order);
+            let k = rng.gen_range(1..10);
+            let got = t.k_nearest(q, k);
+            let expect: Vec<u32> = old_order.iter().take(k).map(|&(_, i)| i).collect();
             assert_eq!(got, expect);
         }
     }

@@ -131,6 +131,7 @@ impl VendorIndex {
         let (old_key, old_local) = self.membership[vid.index()];
         let new_key = class_of(radius);
         if new_key == old_key {
+            // membership[] guarantees the class exists. lint: allow(unwrap)
             let pos = self.class_pos(old_key).expect("member class missing");
             self.classes[pos].r2[old_local as usize] = radius * radius;
             return;
@@ -138,6 +139,7 @@ impl VendorIndex {
         // Detach from the old class: the grid renames its last local id
         // to `old_local`, so the side tables swap-remove in lockstep and
         // the renamed member's membership is rewritten.
+        // membership[] guarantees the class exists. lint: allow(unwrap)
         let pos = self.class_pos(old_key).expect("member class missing");
         let class = &mut self.classes[pos];
         let location = class.grid.point(old_local as usize);
@@ -205,6 +207,42 @@ impl VendorIndex {
         let mut out = Vec::new();
         self.covering_into(p, &mut out);
         out
+    }
+
+    /// Validate the index's structural invariants (DESIGN.md §13):
+    /// classes sorted by key with aligned side tables, every class grid
+    /// internally consistent ([`GridIndex::debug_validate`]), and the
+    /// `membership` ↔ class `ids` mapping a bijection over all vendors.
+    /// A no-op unless `debug_assertions` are on; the radius-mutation
+    /// proptests call it after every `set_radius`.
+    pub fn debug_validate(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        assert!(
+            self.classes.windows(2).all(|w| w[0].key < w[1].key),
+            "classes must be sorted strictly by key"
+        );
+        let mut members = 0usize;
+        for class in &self.classes {
+            class.grid.debug_validate();
+            assert_eq!(class.r2.len(), class.grid.len(), "r2 must align with the class grid");
+            assert_eq!(class.ids.len(), class.grid.len(), "ids must align with the class grid");
+            for (local, &vid) in class.ids.iter().enumerate() {
+                assert!(vid.index() < self.membership.len(), "class member {vid} out of range");
+                assert_eq!(
+                    self.membership[vid.index()],
+                    (class.key, local as u32),
+                    "membership of {vid} does not point back at its class slot"
+                );
+            }
+            members += class.ids.len();
+        }
+        assert_eq!(
+            members,
+            self.membership.len(),
+            "every vendor must live in exactly one class"
+        );
     }
 }
 

@@ -47,7 +47,7 @@ proptest! {
             .enumerate()
             .map(|(i, p)| (p.distance_sq(&q), i as u32))
             .collect();
-        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        brute.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let expect: Vec<u32> = brute.into_iter().take(k).map(|(_, i)| i).collect();
         prop_assert_eq!(got, expect);
     }
@@ -257,7 +257,7 @@ mod csr_equivalence {
                 .enumerate()
                 .map(|(i, p)| (p.distance_sq(&q), i as u32))
                 .collect();
-            brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            brute.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let expect: Vec<u32> = brute.into_iter().take(k).map(|(_, i)| i).collect();
             prop_assert_eq!(csr.k_nearest(q, k), expect);
         }
@@ -340,6 +340,7 @@ mod mutation_equivalence {
                     Op::Compact => idx.compact(),
                 }
                 prop_assert_eq!(idx.len(), live.len());
+                idx.debug_validate();
                 let fresh = GridIndex::with_cell_size(live.clone(), cell);
                 prop_assert_eq!(
                     idx.range_query(q, radius),
@@ -381,6 +382,7 @@ mod mutation_equivalence {
                 let vid = muaa_core::VendorId::from(j % vendors.len());
                 index.set_radius(vid, r);
                 vendors[vid.index()].radius = r;
+                index.debug_validate();
                 let mut got = index.covering(q);
                 got.sort_unstable();
                 let expect: Vec<muaa_core::VendorId> = vendors

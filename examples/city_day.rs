@@ -66,7 +66,7 @@ fn main() {
         let tags = &instance.vendor(a.vendor).tags;
         let (top_tag, _) = tags
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty tag vector");
         let root = tax.path_from_root(TagId(top_tag as u32))[0];
         let root_idx = tax
