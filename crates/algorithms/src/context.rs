@@ -703,6 +703,7 @@ impl<'a> SolverContext<'a> {
     /// lookup when the dense table fits, otherwise a single fused pass
     /// over the tag vectors using the customer's precomputed moments.
     /// Both are bit-identical to the uncached evaluation.
+    #[cfg_attr(any(), muaa::hot)]
     pub fn pair_base(&self, cid: CustomerId, vid: VendorId) -> f64 {
         let Some(cache) = &self.cache else {
             return self.pair_base_uncached(cid, vid);
@@ -734,7 +735,12 @@ impl<'a> SolverContext<'a> {
     /// load/fill per slot, and misses share `pair_base`'s arithmetic.
     /// Callers reuse `out` across vendors for zero steady-state
     /// allocation.
+    #[cfg_attr(any(), muaa::hot)]
     pub fn pair_base_block(&self, vid: VendorId, cids: &[CustomerId], out: &mut Vec<f64>) {
+        // Counting (not strict) region: the reserve below allocates on a
+        // cold scratch buffer; steady-state reuse is what must be free,
+        // and the sanitize tests assert exactly that on a warm buffer.
+        let _hot = muaa_core::sanitize::AllocGuard::counting("context.pair_base_block");
         out.clear();
         out.reserve(cids.len());
         let Some(cache) = &self.cache else {
@@ -754,6 +760,8 @@ impl<'a> SolverContext<'a> {
                         slot.store(b.to_bits(), Ordering::Relaxed);
                         b
                     };
+                    // In-capacity after the reserve above; the counting
+                    // guard + sanitize tests pin this. lint: allow(hot_alloc)
                     out.push(base);
                 }
             }
@@ -766,7 +774,9 @@ impl<'a> SolverContext<'a> {
     /// Arithmetic is bit-identical to
     /// [`pair_base_uncached`](Self::pair_base_uncached) on a Pearson
     /// model (see `PearsonUtility::similarity_from_parts`).
+    #[cfg_attr(any(), muaa::hot)]
     fn pair_base_fused(&self, cache: &PairCache, cid: CustomerId, vid: VendorId) -> f64 {
+        let _hot = muaa_core::sanitize::AllocGuard::strict("context.pair_base_fused");
         let pearson = self
             .pearson
             .expect("pair cache exists only for Pearson models");
@@ -788,12 +798,15 @@ impl<'a> SolverContext<'a> {
             cache.swxx[i],
             v.tags.as_slice(),
         );
-        c.view_probability * s / d
+        let base = c.view_probability * s / d;
+        muaa_core::sanitize::note_f64(base);
+        base
     }
 
     /// Pair base through the [`UtilityModel`] trait calls — the only
     /// path for non-Pearson models and for contexts stripped with
     /// [`without_pair_cache`](Self::without_pair_cache).
+    #[cfg_attr(any(), muaa::hot)]
     fn pair_base_uncached(&self, cid: CustomerId, vid: VendorId) -> f64 {
         let c = self.instance.customer(cid);
         let v = self.instance.vendor(vid);
@@ -801,17 +814,21 @@ impl<'a> SolverContext<'a> {
         if d <= 0.0 || d.is_nan() || d.is_infinite() {
             return 0.0;
         }
-        c.view_probability * self.model.similarity(cid, c, vid, v) / d
+        let base = c.view_probability * self.model.similarity(cid, c, vid, v) / d;
+        muaa_core::sanitize::note_f64(base);
+        base
     }
 
     /// Utility `λ_ijk` from a precomputed [`pair_base`](Self::pair_base).
     #[inline]
+    #[cfg_attr(any(), muaa::hot)]
     pub fn utility_from_base(&self, base: f64, ad: AdTypeId) -> f64 {
         base * self.instance.ad_type(ad).effectiveness
     }
 
     /// Budget efficiency `γ_ijk` from a precomputed pair base.
     #[inline]
+    #[cfg_attr(any(), muaa::hot)]
     pub fn efficiency_from_base(&self, base: f64, ad: AdTypeId) -> f64 {
         let t = self.instance.ad_type(ad);
         base * t.effectiveness / t.cost.as_dollars()
@@ -831,12 +848,14 @@ impl<'a> SolverContext<'a> {
     /// affordable type with the highest budget efficiency (paper
     /// Alg. 2 line 4). Returns `(ad type, λ, γ)`; `None` when nothing
     /// affordable has positive utility.
+    #[cfg_attr(any(), muaa::hot)]
     pub fn best_ad_type(
         &self,
         cid: CustomerId,
         vid: VendorId,
         remaining: Money,
     ) -> Option<(AdTypeId, f64, f64)> {
+        let _hot = muaa_core::sanitize::AllocGuard::strict("context.best_ad_type");
         let base = self.pair_base(cid, vid);
         if base <= 0.0 {
             return None;
@@ -865,6 +884,7 @@ impl<'a> SolverContext<'a> {
     /// Like [`best_ad_type`](Self::best_ad_type) but maximizing utility
     /// `λ` instead of efficiency `γ` — what NEAREST uses once the
     /// vendor is fixed.
+    #[cfg_attr(any(), muaa::hot)]
     pub fn best_ad_type_by_utility(
         &self,
         cid: CustomerId,

@@ -62,6 +62,44 @@ impl BatchedRecon {
     }
 }
 
+/// Phase-2 inner loop of one window: remove `cid`'s lowest-utility
+/// picks until its window load fits `cap` (Alg. 1 lines 8–10 restricted
+/// to the window; the min-scan over the customer's pick index selects
+/// the same worst pick as a full rescan of `picked`).
+///
+/// No refill here: within a buffered batch, the freed budget simply
+/// carries to the next window, which is the natural semi-online
+/// behaviour.
+#[cfg_attr(any(), muaa::hot)]
+fn shed_window_overload(
+    cid: CustomerId,
+    cap: u32,
+    lo: usize,
+    picks_of: &mut [Vec<(u32, f64)>],
+    picked: &mut [Vec<(CustomerId, AdTypeId, f64)>],
+    window_load: &mut [u32],
+) {
+    let _hot = muaa_core::sanitize::AllocGuard::strict("batched.shed_window_overload");
+    while window_load[cid.index() - lo] > cap {
+        let entries = &mut picks_of[cid.index() - lo];
+        let mut worst: Option<(usize, f64)> = None;
+        for (epos, &(_, lambda)) in entries.iter().enumerate() {
+            if worst.is_none_or(|(_, wl)| lambda < wl) {
+                worst = Some((epos, lambda));
+            }
+        }
+        let Some((epos, _)) = worst else { break };
+        let (j, _) = entries.remove(epos);
+        let vid = VendorId::from(j as usize);
+        let pos = picked[vid.index()]
+            .iter()
+            .position(|&(c, _, _)| c == cid)
+            .expect("pick index out of sync with picked lists");
+        picked[vid.index()].swap_remove(pos);
+        window_load[cid.index() - lo] -= 1;
+    }
+}
+
 impl OfflineSolver for BatchedRecon {
     fn assign(&self, ctx: &SolverContext<'_>) -> AssignmentSet {
         let inst = ctx.instance();
@@ -181,28 +219,7 @@ impl OfflineSolver for BatchedRecon {
             violated.shuffle(&mut rng);
             for cid in violated {
                 let cap = inst.customer(cid).capacity - set.customer_load(cid);
-                while window_load[cid.index() - lo] > cap {
-                    // Remove this customer's lowest-utility pick.
-                    let entries = &mut picks_of[cid.index() - lo];
-                    let mut worst: Option<(usize, f64)> = None;
-                    for (epos, &(_, lambda)) in entries.iter().enumerate() {
-                        if worst.is_none_or(|(_, wl)| lambda < wl) {
-                            worst = Some((epos, lambda));
-                        }
-                    }
-                    let Some((epos, _)) = worst else { break };
-                    let (j, _) = entries.remove(epos);
-                    let vid = VendorId::from(j as usize);
-                    let pos = picked[vid.index()]
-                        .iter()
-                        .position(|&(c, _, _)| c == cid)
-                        .expect("pick index out of sync with picked lists");
-                    picked[vid.index()].swap_remove(pos);
-                    window_load[cid.index() - lo] -= 1;
-                    // (No refill here: within a buffered batch, the
-                    // freed budget simply carries to the next window,
-                    // which is the natural semi-online behaviour.)
-                }
+                shed_window_overload(cid, cap, lo, &mut picks_of, &mut picked, &mut window_load);
             }
 
             // ---- Commit the window. ----

@@ -33,9 +33,12 @@ struct Candidate {
 /// customers come from the precomputed CSR slice and their pair bases
 /// from one [`SolverContext::pair_base_block`] call into a thread-local
 /// scratch buffer reused across vendors.
+#[cfg_attr(any(), muaa::hot)]
 fn collect_candidates(ctx: &SolverContext<'_>) -> Vec<Candidate> {
     use std::cell::RefCell;
     thread_local! {
+        // Scratch reused across vendors. lint: allow(hot_alloc): one-time
+        // thread-local init, not per-vendor work.
         static BASES: RefCell<Vec<f64>> = RefCell::new(Vec::new());
     }
     let inst = ctx.instance();
@@ -45,6 +48,9 @@ fn collect_candidates(ctx: &SolverContext<'_>) -> Vec<Candidate> {
         BASES.with(|scratch| {
             let mut bases = scratch.borrow_mut();
             ctx.pair_base_block(vid, cids, &mut bases);
+            // lint: allow(hot_alloc): par_map requires an owned
+            // per-vendor result list — the one §11-sanctioned
+            // allocation of this loop.
             let mut out = Vec::new();
             for (k, &cid) in cids.iter().enumerate() {
                 let base = bases[k];
@@ -56,6 +62,8 @@ fn collect_candidates(ctx: &SolverContext<'_>) -> Vec<Candidate> {
                     if lambda <= 0.0 {
                         continue;
                     }
+                    // Into the owned per-vendor list justified
+                    // above. lint: allow(hot_alloc)
                     out.push(Candidate {
                         customer: cid,
                         vendor: vid,

@@ -132,6 +132,7 @@ impl<'c, 'a> ReconState<'c, 'a> {
 
     /// Remove the instance of `cid` with the lowest utility from vendor
     /// `vid`'s solution (Alg. 1 line 10); returns the freed cost.
+    #[cfg_attr(any(), muaa::hot)]
     fn remove_lowest_for(&mut self, vid: VendorId, cid: CustomerId) -> Option<Money> {
         let list = &mut self.per_vendor[vid.index()];
         let pos = list.iter().position(|&(c, _, _)| c == cid)?;
@@ -146,7 +147,11 @@ impl<'c, 'a> ReconState<'c, 'a> {
     /// budget-efficiency instances among its valid customers that are
     /// not yet served by this vendor and still have spare capacity
     /// (Alg. 1 line 11).
+    #[cfg_attr(any(), muaa::hot)]
     fn refill(&mut self, vid: VendorId, valid_customers: &[CustomerId]) {
+        // Counting (not strict): the rare successful refill pushes into
+        // the vendor's pick list, which may grow.
+        let _hot = muaa_core::sanitize::AllocGuard::counting("recon.refill");
         loop {
             let remaining = self.ctx.vendor(vid).budget - self.spend[vid.index()];
             if remaining < self.ctx.instance().min_ad_cost() {
@@ -169,6 +174,8 @@ impl<'c, 'a> ReconState<'c, 'a> {
             let Some((cid, tid, lambda, _)) = best else {
                 return;
             };
+            // Growing the pick list is the point of a refill; the
+            // counting guard above tracks it. lint: allow(hot_alloc)
             self.per_vendor[vid.index()].push((cid, tid, lambda));
             self.load[cid.index()] += 1;
             self.spend[vid.index()] += self.ctx.ad_type(tid).cost;

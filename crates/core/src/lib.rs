@@ -55,6 +55,7 @@ pub mod instance;
 pub mod io;
 pub mod money;
 pub mod par;
+pub mod sanitize;
 pub mod tags;
 pub mod utility;
 

@@ -116,7 +116,8 @@ impl Sub for Money {
     /// checked before committing an assignment).
     #[inline]
     fn sub(self, rhs: Money) -> Money {
-        // lint: allow(unwrap)
+        // Deliberate panic on caller bug, per the doc above; a silent
+        // saturate would hide budget-accounting errors. lint: allow(unwrap)
         Money(self.0.checked_sub(rhs.0).expect("money underflow"))
     }
 }

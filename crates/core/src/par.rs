@@ -23,6 +23,8 @@ use std::cell::Cell;
 
 thread_local! {
     static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+    /// 0 = no override; otherwise the exact thread count fan-outs use.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Restores the previous override even if the closure panics.
@@ -31,6 +33,15 @@ struct SeqGuard(bool);
 impl Drop for SeqGuard {
     fn drop(&mut self) {
         FORCE_SEQUENTIAL.with(|c| c.set(self.0));
+    }
+}
+
+/// Restores the previous thread-count override even on panic.
+struct ThreadsGuard(usize);
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.with(|c| c.set(self.0));
     }
 }
 
@@ -48,15 +59,36 @@ pub fn sequential_forced() -> bool {
     FORCE_SEQUENTIAL.with(Cell::get)
 }
 
+/// Run `f` with every fan-out *made from this thread* pinned to exactly
+/// `threads` workers, regardless of the machine's core count. The
+/// determinism harness uses this to replay the solvers at 1/2/4/8
+/// threads and byte-diff the outputs; the outputs are bit-identical by
+/// construction, and this knob makes that claim *testable* on any
+/// machine (including single-core CI containers).
+///
+/// Ignored (always 1 thread) when the `parallel` feature is off or the
+/// thread is inside [`with_sequential`] — those configurations promise
+/// strictly single-threaded execution.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(threads.max(1)));
+    let _guard = ThreadsGuard(prev);
+    f()
+}
+
 /// The number of worker threads fan-outs may use right now: the
-/// machine's available parallelism, or 1 when the `parallel` feature is
-/// off or the current thread is inside [`with_sequential`].
+/// [`with_threads`] override if one is active, else the machine's
+/// available parallelism; always 1 when the `parallel` feature is off
+/// or the current thread is inside [`with_sequential`].
 pub fn max_threads() -> usize {
     if sequential_forced() {
         return 1;
     }
     #[cfg(feature = "parallel")]
     {
+        let forced = THREAD_OVERRIDE.with(Cell::get);
+        if forced > 0 {
+            return forced;
+        }
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
@@ -236,6 +268,55 @@ where
     }
 }
 
+/// Chunk width of the fixed-chunk float reducers ([`sum_f64`] /
+/// [`par_sum_f64`]). Fixed so the reduction tree — and therefore the
+/// floating-point rounding — is a function of the input alone, never of
+/// the thread count.
+pub const REDUCE_CHUNK: usize = 1024;
+
+/// Order-fixed sequential sum: left-to-right within each
+/// [`REDUCE_CHUNK`]-wide chunk, then left-to-right over the chunk
+/// partials. This is the *canonical* reduction order for the workspace:
+/// [`par_sum_f64`] reproduces it bit-for-bit at any thread count, which
+/// is what lets `muaa-lint` rule D7 ban ad-hoc `.sum::<f64>()` /
+/// `fold(+)` reductions in parallel code.
+pub fn sum_f64(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for chunk in xs.chunks(REDUCE_CHUNK) {
+        let mut partial = 0.0;
+        for &x in chunk {
+            partial += x;
+        }
+        total += partial;
+    }
+    total
+}
+
+/// Deterministic parallel sum: each [`REDUCE_CHUNK`]-wide chunk is
+/// summed left-to-right (fanned out via [`par_map`]) and the partials
+/// are folded left-to-right on the calling thread. Because chunk
+/// boundaries are fixed — not derived from the worker count — the
+/// result is bit-identical to [`sum_f64`] for any thread count,
+/// including 1.
+pub fn par_sum_f64(xs: &[f64]) -> f64 {
+    if xs.len() <= REDUCE_CHUNK || max_threads() <= 1 {
+        return sum_f64(xs);
+    }
+    let chunks: Vec<&[f64]> = xs.chunks(REDUCE_CHUNK).collect();
+    let partials = par_map(&chunks, 1, |_, chunk| {
+        let mut partial = 0.0;
+        for &x in *chunk {
+            partial += x;
+        }
+        partial
+    });
+    let mut total = 0.0;
+    for p in partials {
+        total += p;
+    }
+    total
+}
+
 /// Two-pointer stable merge of sorted `a` then `b` into `dst`
 /// (`dst.len() == a.len() + b.len()`); ties take from `a`.
 fn merge_left_preferring<T: Clone>(
@@ -340,6 +421,65 @@ mod tests {
         for (a, b) in par.iter().zip(&seq) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn with_threads_pins_the_fanout_width() {
+        // The override wins over available_parallelism in a `parallel`
+        // build and is ignored in a sequential one.
+        let inside = with_threads(7, max_threads);
+        if cfg!(feature = "parallel") {
+            assert_eq!(inside, 7);
+        } else {
+            assert_eq!(inside, 1);
+        }
+        // Restored afterwards (0 override → machine default).
+        let after = max_threads();
+        assert!(after >= 1);
+        // Nested overrides restore the outer one.
+        let (outer, inner) = with_threads(2, || {
+            let inner = with_threads(5, max_threads);
+            (max_threads(), inner)
+        });
+        if cfg!(feature = "parallel") {
+            assert_eq!((outer, inner), (2, 5));
+        }
+    }
+
+    #[test]
+    fn par_map_is_thread_count_invariant() {
+        let items: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let base = with_threads(1, || par_map(&items, 8, |_, &x| x * 1.000001 + 0.5));
+        for threads in [2usize, 3, 4, 8] {
+            let out = with_threads(threads, || par_map(&items, 8, |_, &x| x * 1.000001 + 0.5));
+            for (a, b) in out.iter().zip(&base) {
+                assert_eq!(a.to_bits(), b.to_bits(), "thread count {threads} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_chunk_sum_is_thread_count_invariant() {
+        // Values chosen so naive reassociation visibly changes rounding.
+        let xs: Vec<f64> = (0..REDUCE_CHUNK * 5 + 311)
+            .map(|i| ((i as f64) * 1e-3).sin() * 10f64.powi((i % 7) as i32 - 3))
+            .collect();
+        let seq = sum_f64(&xs);
+        for threads in [1usize, 2, 4, 8] {
+            let par = with_threads(threads, || par_sum_f64(&xs));
+            assert_eq!(par.to_bits(), seq.to_bits(), "par_sum_f64 drifted at {threads} threads");
+        }
+        // Sanity: the value itself is a plausible sum.
+        let naive: f64 = xs.iter().sum();
+        assert!((seq - naive).abs() <= 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn fixed_chunk_sum_small_inputs() {
+        assert_eq!(sum_f64(&[]), 0.0);
+        assert_eq!(par_sum_f64(&[]), 0.0);
+        assert_eq!(sum_f64(&[1.5]), 1.5);
+        assert_eq!(par_sum_f64(&[1.5, 2.5]), 4.0);
     }
 
     #[test]

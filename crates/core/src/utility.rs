@@ -226,6 +226,7 @@ impl PearsonUtility {
     /// struct-based path — `similarity_with_moments` is a thin wrapper
     /// over this function.
     #[inline]
+    #[cfg_attr(any(), muaa::hot)]
     pub fn similarity_from_parts(
         weights: &[f64],
         xs: &[f64],
@@ -234,6 +235,7 @@ impl PearsonUtility {
         swxx: f64,
         ys: &[f64],
     ) -> f64 {
+        let _hot = crate::sanitize::AllocGuard::strict("utility.similarity_from_parts");
         debug_assert_eq!(xs.len(), weights.len());
         debug_assert_eq!(ys.len(), weights.len());
         let (mut swy, mut swyy, mut swxy) = (0.0, 0.0, 0.0);
@@ -296,6 +298,7 @@ impl CustomerMoments {
 /// fused pass; tags and weights live in `[0, 1]`, so the subtraction is
 /// well-conditioned (variances are clamped at 0 against rounding).
 #[inline]
+#[cfg_attr(any(), muaa::hot)]
 fn pearson_from_moments(sw: f64, swx: f64, swxx: f64, swy: f64, swyy: f64, swxy: f64) -> f64 {
     if sw <= 0.0 {
         return 0.0;
@@ -329,6 +332,7 @@ impl UtilityModel for PearsonUtility {
             .clamped_distance(&vendor.location, self.min_distance)
     }
 
+    #[cfg_attr(any(), muaa::hot)]
     fn similarity(
         &self,
         _cid: CustomerId,
@@ -336,6 +340,7 @@ impl UtilityModel for PearsonUtility {
         _vid: VendorId,
         vendor: &Vendor,
     ) -> f64 {
+        let _hot = crate::sanitize::AllocGuard::strict("utility.similarity_fused");
         let tags = customer.interests.len();
         debug_assert_eq!(tags, vendor.tags.len());
         debug_assert_eq!(tags, self.activity.tags());

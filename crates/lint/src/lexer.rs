@@ -13,9 +13,9 @@
 //!   rules can read annotations (`// lint: allow(...)`, `// SAFETY:`);
 //!   block comments nest, as in Rust.
 //! * String-ish literals — `"…"`, `r"…"`, `r#"…"#` (any hash depth),
-//!   `b"…"`, `br#"…"#`, `c"…"`, `'c'`, `b'c'` — are consumed as single
-//!   [`TokenKind::Str`] tokens, so `partial_cmp` *inside a string* never
-//!   looks like code.
+//!   `b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`, `'c'`, `b'c'` — are consumed
+//!   as single [`TokenKind::Str`] tokens, so `partial_cmp` *inside a
+//!   string* never looks like code.
 //! * Lifetimes (`'a`) are distinguished from char literals.
 //! * Raw identifiers (`r#type`) lex as identifiers.
 
@@ -272,14 +272,15 @@ fn lex_quoted_tail(cur: &mut Cursor<'_>, close: u8) {
 }
 
 /// Try to consume a prefixed literal (`r"…"`, `r#"…"#`, `r#ident`,
-/// `b"…"`, `br#"…"#`, `b'…'`, `c"…"`) at the cursor. Returns `None` if
-/// what follows is a plain identifier starting with r/b/c.
+/// `b"…"`, `br#"…"#`, `b'…'`, `c"…"`, `cr"…"`, `cr#"…"#`) at the
+/// cursor. Returns `None` if what follows is a plain identifier
+/// starting with r/b/c.
 fn lex_prefixed(cur: &mut Cursor<'_>, src: &str, line: u32, col: u32) -> Option<Token> {
     let start = cur.i;
     let c0 = cur.peek()?;
-    // Longest prefixes first: br / rb are the only two-letter ones.
+    // Longest prefixes first: br / cr are the two-letter ones.
     let (prefix_len, raw) = match (c0, cur.peek_at(1)) {
-        (b'b', Some(b'r')) => (2, true),
+        (b'b', Some(b'r')) | (b'c', Some(b'r')) => (2, true),
         (b'r', Some(b'#')) | (b'r', Some(b'"')) => (1, true),
         (b'b', Some(b'"')) | (b'b', Some(b'\'')) | (b'c', Some(b'"')) => (1, false),
         _ => return None,
@@ -425,6 +426,20 @@ mod tests {
         let strs: Vec<_> = lex(src).into_iter().filter(|t| t.kind == TokenKind::Str).collect();
         assert_eq!(strs.len(), 3);
         assert!(strs[0].text.contains("inside"));
+    }
+
+    #[test]
+    fn raw_c_strings_are_single_tokens_and_crate_is_an_ident() {
+        // `cr"…"` / `cr#"…"#` must not leak their contents as code —
+        // regression: `cr` used to lex as an ident followed by a plain
+        // string, so a `"` inside the raw body desynced the lexer.
+        let src = r##"let p = cr"unsafe { }"; let q = cr#"a "quoted" path"#; crate::f();"##;
+        let strs: Vec<_> = lex(src).into_iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].text.starts_with("cr\""));
+        assert!(strs[1].text.contains("quoted"));
+        assert!(idents(src).iter().all(|i| i != "unsafe" && i != "quoted"));
+        assert!(idents(src).iter().any(|i| i == "crate"));
     }
 
     #[test]

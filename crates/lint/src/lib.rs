@@ -10,14 +10,18 @@
 //! break the contract. See [`rules::RULES`] for the rule table and
 //! DESIGN.md §13 for the rationale.
 //!
-//! Three entry points, same pass:
+//! Four entry points, same pass:
 //!
-//! * `cargo run -p muaa-lint` — the CLI (CI runs this);
+//! * `cargo run -p muaa-lint` (or the `cargo lint` alias) — the CLI,
+//!   with `--format=json` for machine consumers (CI runs both);
 //! * the `workspace_gate` integration test — plain `cargo test` gates it;
-//! * [`check_source`] — in-memory fixtures for the rule unit tests.
+//! * [`run_sources`] — the workspace-level pass over in-memory files
+//!   (rule D9 needs cross-file visibility);
+//! * [`check_source`] — single-file fixtures for the rule unit tests.
 
 pub mod lexer;
 pub mod rules;
+pub mod tree;
 
 use rules::{FileAnalysis, UnsafeSite, Violation};
 use std::fs;
@@ -63,13 +67,95 @@ impl Report {
         ));
         out
     }
+
+    /// Render one JSON object per line — each violation with `file`,
+    /// `line`, `col`, `rule`, `allow_key`, `message`, `snippet`, then a
+    /// summary object. Line-oriented so CI problem matchers and `jq`
+    /// both consume it without a streaming parser.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\
+                 \"allow_key\":\"{}\",\"message\":\"{}\",\"snippet\":\"{}\"}}\n",
+                json_escape(&v.file),
+                v.line,
+                v.col,
+                v.rule,
+                v.allow_key,
+                json_escape(&v.message),
+                json_escape(&v.snippet)
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"files_checked\":{},\"violations\":{},\"unsafe_sites\":{}}}\n",
+            self.files_checked,
+            self.violations.len(),
+            self.unsafe_sites.len()
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// all the renderer emits.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Lint a single in-memory source file. `rel_path` decides which rules
 /// apply (see [`rules::RULES`] scopes) — the unit-test fixtures use
 /// paths like `crates/core/src/fixture.rs` to opt into a scope.
 pub fn check_source(rel_path: &str, src: &str) -> (Vec<Violation>, Vec<UnsafeSite>) {
-    rules::run_all(&FileAnalysis::new(rel_path, src))
+    let report = run_sources(&[(rel_path.to_string(), src.to_string())]);
+    (report.violations, report.unsafe_sites)
+}
+
+/// The full pass over a set of in-memory `(rel_path, source)` files:
+/// per-file rules (D1–D7), then the workspace-level dead-validator
+/// audit (D9), then allow hygiene (D8) — last, so its staleness check
+/// observes every other rule's allow consultations.
+pub fn run_sources(files: &[(String, String)]) -> Report {
+    let analyzed: Vec<(FileAnalysis, tree::ItemTree)> = files
+        .iter()
+        .map(|(rel, src)| {
+            let fa = FileAnalysis::new(rel, src);
+            let items = tree::build(&fa);
+            (fa, items)
+        })
+        .collect();
+    let mut report = Report {
+        files_checked: analyzed.len(),
+        ..Report::default()
+    };
+    for (fa, items) in &analyzed {
+        let (violations, sites) = rules::run_all(fa, items);
+        report.violations.extend(violations);
+        report.unsafe_sites.extend(sites);
+    }
+    report.violations.extend(rules::d9_dead_validators(&analyzed));
+    for (fa, _) in &analyzed {
+        report.violations.extend(rules::d8_allow_hygiene(fa));
+    }
+    report
+        .violations
+        .sort_by_key(|v| (v.file.clone(), v.line, v.col, v.rule));
+    report
+        .unsafe_sites
+        .sort_by_key(|s| (s.file.clone(), s.line, s.col));
+    report
 }
 
 /// Directories never linted: build output, VCS, editor state, and the
@@ -82,22 +168,13 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut report = Report::default();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in files {
         let src = fs::read_to_string(root.join(&rel))?;
         let rel_unix = rel.to_string_lossy().replace('\\', "/");
-        let (violations, sites) = check_source(&rel_unix, &src);
-        report.files_checked += 1;
-        report.violations.extend(violations);
-        report.unsafe_sites.extend(sites);
+        sources.push((rel_unix, src));
     }
-    report
-        .violations
-        .sort_by_key(|v| (v.file.clone(), v.line, v.col, v.rule));
-    report
-        .unsafe_sites
-        .sort_by_key(|s| (s.file.clone(), s.line, s.col));
-    Ok(report)
+    Ok(run_sources(&sources))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -197,7 +274,7 @@ mod tests {
 
     #[test]
     fn d1_respects_allow_annotation() {
-        let src = "fn f(v: &mut Vec<f64>) {\n    // lint: allow(partial_cmp)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        let src = "fn f(v: &mut Vec<f64>) {\n    // NaNs filtered before this sort. lint: allow(partial_cmp)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
         assert!(violations("crates/x/src/a.rs", src).is_empty());
     }
 
@@ -328,11 +405,160 @@ mod tests {
     fn d5_accepts_paired_or_annotated_cfg() {
         let paired = "#[cfg(feature = \"parallel\")]\nfn go() { threads() }\n#[cfg(not(feature = \"parallel\"))]\nfn go() { serial() }\n";
         assert!(violations("crates/core/src/a.rs", paired).is_empty());
-        let annotated = "// lint: allow(par_only)\n#[cfg(feature = \"parallel\")]\nuse std::thread;\n";
+        let annotated = "// parallel-only import; the sequential build has no twin. lint: allow(par_only)\n#[cfg(feature = \"parallel\")]\nuse std::thread;\n";
         assert!(violations("crates/core/src/a.rs", annotated).is_empty());
         // Other features are not this rule's business.
         let other = "#[cfg(feature = \"serde\")]\nfn s() {}\n";
         assert!(violations("crates/core/src/a.rs", other).is_empty());
+    }
+
+    // ---- D6 ---------------------------------------------------------
+
+    #[test]
+    fn d6_flags_allocations_in_hot_fns_under_both_attr_spellings() {
+        for attr in ["#[muaa::hot]", "#[cfg_attr(any(), muaa::hot)]"] {
+            let src = format!(
+                "{attr}\nfn kernel(out: &mut Vec<f64>) {{\n    let v = Vec::new();\n    out.push(1.0);\n    drop(v);\n}}"
+            );
+            let v = violations("crates/core/src/a.rs", &src);
+            assert_eq!(v.len(), 2, "in: {src}\ngot: {v:?}");
+            assert!(v.iter().all(|x| x.rule == "D6"));
+            assert!(v[0].message.contains("kernel"));
+        }
+    }
+
+    #[test]
+    fn d6_flags_collect_format_box_and_to_vec() {
+        let src = "#[muaa::hot]\nfn kernel(xs: &[f64]) {\n    let a: Vec<f64> = xs.iter().copied().collect();\n    let b = xs.to_vec();\n    let c = format!(\"{a:?}{b:?}\");\n    let d = Box::new(c);\n    drop(d);\n}";
+        let v = violations("crates/core/src/a.rs", src);
+        assert_eq!(v.len(), 4, "{v:?}");
+    }
+
+    #[test]
+    fn d6_ignores_cold_fns_capacity_calls_and_justified_allows() {
+        // No hot attribute → no rule.
+        let cold = "fn kernel(out: &mut Vec<f64>) { out.push(1.0); }";
+        assert!(violations("crates/core/src/a.rs", cold).is_empty());
+        // Capacity-preserving calls stay legal in hot code.
+        let reserve = "#[muaa::hot]\nfn kernel(out: &mut Vec<f64>) {\n    out.reserve(4);\n    out.clear();\n    out.extend([1.0]);\n}";
+        assert!(violations("crates/core/src/a.rs", reserve).is_empty());
+        // A justified allow waives a deliberate allocation.
+        let allowed = "#[muaa::hot]\nfn kernel(out: &mut Vec<f64>) {\n    // one-time warm-up growth, pinned by the counting guard. lint: allow(hot_alloc)\n    out.push(1.0);\n}";
+        assert!(violations("crates/core/src/a.rs", allowed).is_empty());
+    }
+
+    // ---- D7 ---------------------------------------------------------
+
+    #[test]
+    fn d7_flags_float_sums_only_inside_parallel_items() {
+        let src = "#[cfg(feature = \"parallel\")]\nfn fan(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>()\n}\n#[cfg(not(feature = \"parallel\"))]\nfn fan(xs: &[f64]) -> f64 { muaa_core::par::sum_f64(xs) }";
+        let v = violations("crates/algorithms/src/a.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].line), ("D7", 3));
+        assert!(v[0].message.contains("par_sum_f64"));
+        // The same sum outside any parallel region is fine.
+        let outside = "fn plain(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+        assert!(violations("crates/algorithms/src/a.rs", outside).is_empty());
+    }
+
+    #[test]
+    fn d7_flags_adding_folds_but_not_max_folds_or_usize_sums() {
+        let fold = "#[cfg(feature = \"parallel\")]\nfn fan(xs: &[f64]) -> f64 {\n    xs.iter().fold(0.0, |acc, x| acc + x)\n}\n#[cfg(not(feature = \"parallel\"))]\nfn fan(xs: &[f64]) -> f64 { 0.0 }";
+        assert_eq!(rule_ids("crates/x/src/a.rs", fold), vec!["D7"]);
+        // Max-folds don't re-associate additions.
+        let max = "#[cfg(feature = \"parallel\")]\nfn fan(xs: &[f64]) -> f64 {\n    xs.iter().copied().fold(0.0, f64::max)\n}\n#[cfg(not(feature = \"parallel\"))]\nfn fan(xs: &[f64]) -> f64 { 0.0 }";
+        assert!(violations("crates/x/src/a.rs", max).is_empty());
+        // Integer sums are exact — only the f64 turbofish is flagged.
+        let usize_sum = "#[cfg(feature = \"parallel\")]\nfn fan(xs: &[usize]) -> usize {\n    xs.iter().sum::<usize>()\n}\n#[cfg(not(feature = \"parallel\"))]\nfn fan(xs: &[usize]) -> usize { 0 }";
+        assert!(violations("crates/x/src/a.rs", usize_sum).is_empty());
+        // A justified allow waives it.
+        let allowed = "#[cfg(feature = \"parallel\")]\nfn fan(xs: &[f64]) -> f64 {\n    // single fixed chunk by caller contract. lint: allow(float_reduce)\n    xs.iter().sum::<f64>()\n}\n#[cfg(not(feature = \"parallel\"))]\nfn fan(xs: &[f64]) -> f64 { 0.0 }";
+        assert!(violations("crates/x/src/a.rs", allowed).is_empty());
+    }
+
+    // ---- D8 ---------------------------------------------------------
+
+    #[test]
+    fn d8_flags_bare_and_stale_allows() {
+        // Annotation that works but never says why.
+        let bare = "fn f(v: &mut Vec<f64>) {\n    // lint: allow(partial_cmp)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        let v = violations("crates/x/src/a.rs", bare);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "D8");
+        assert!(v[0].message.contains("justification"));
+        // Justified but suppressing nothing → stale.
+        let stale = "// NaNs were filtered upstream of this sort. lint: allow(partial_cmp)\nfn f() {}\n";
+        let v = violations("crates/x/src/a.rs", stale);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("stale"));
+        // Justified and used → clean.
+        let good = "fn f(v: &mut Vec<f64>) {\n    // NaNs filtered upstream of this sort. lint: allow(partial_cmp)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        assert!(violations("crates/x/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn d8_reads_the_whole_comment_block_and_skips_doc_comments() {
+        // The justification may span the surrounding comment block.
+        let block = "fn f(v: &mut Vec<f64>) {\n    // Presentation-only sort; NaNs impossible\n    // by construction. lint: allow(partial_cmp)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        assert!(violations("crates/x/src/a.rs", block).is_empty());
+        // Doc comments never register annotations — a rule table in
+        // docs is not an allow and cannot go stale.
+        let doc = "/// Escape hatch: `// lint: allow(partial_cmp)` waives D1.\nfn f() {}";
+        assert!(violations("crates/x/src/a.rs", doc).is_empty());
+    }
+
+    // ---- D9 ---------------------------------------------------------
+
+    #[test]
+    fn d9_flags_validators_unreachable_from_any_test() {
+        let src = "pub struct Grid;\nimpl Grid {\n    pub fn debug_validate(&self) {}\n}";
+        let v = violations("crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "D9");
+        assert!(v[0].message.contains("Grid::debug_validate"));
+        // A justified allow waives it.
+        let allowed = "pub struct Tmp;\nimpl Tmp {\n    // exercised by the fuzz harness, not unit tests. lint: allow(dead_validator)\n    pub fn debug_validate(&self) {}\n}";
+        assert!(violations("crates/x/src/a.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn d9_sees_cross_file_test_callers_and_validator_delegation() {
+        let inner = "pub struct Inner;\nimpl Inner {\n    pub fn debug_validate(&self) {}\n}";
+        let outer = "use crate::Inner;\npub struct Outer { pub inner: Inner }\nimpl Outer {\n    pub fn debug_validate(&self) { self.inner.debug_validate(); }\n}";
+        // The integration test mentions only Outer; Inner stays alive
+        // through the delegation chain.
+        let test = "#[test]\nfn t() { x::make_outer().debug_validate(); }\nfn uses() -> x::Outer { x::make_outer() }";
+        let files: Vec<(String, String)> = [
+            ("crates/x/src/inner.rs", inner),
+            ("crates/x/src/outer.rs", outer),
+            ("crates/x/tests/t.rs", test),
+        ]
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+        let report = run_sources(&files);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // Without the test file both validators are dead.
+        let report = run_sources(&files[..2]);
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["D9", "D9"], "{:?}", report.violations);
+    }
+
+    // ---- JSON -------------------------------------------------------
+
+    #[test]
+    fn json_rendering_escapes_quotes_and_carries_allow_keys() {
+        let src = "#[cfg(feature = \"parallel\")]\nfn fan_out() {}\n";
+        let report = run_sources(&[("crates/x/src/a.rs".to_string(), src.to_string())]);
+        let json = report.render_json();
+        let first = json.lines().next().unwrap();
+        assert!(first.starts_with("{\"file\":\"crates/x/src/a.rs\",\"line\":1,"), "{first}");
+        assert!(first.contains("\"rule\":\"D5\""), "{first}");
+        assert!(first.contains("\"allow_key\":\"par_only\""), "{first}");
+        // The snippet's quotes around "parallel" must be escaped.
+        assert!(first.contains("\\\"parallel\\\""), "{first}");
+        let last = json.lines().last().unwrap();
+        assert!(last.contains("\"files_checked\":1"), "{last}");
     }
 
     // ---- engine -----------------------------------------------------
@@ -344,6 +570,7 @@ mod tests {
         for (path, src) in [
             ("crates/lint/src/lexer.rs", include_str!("lexer.rs")),
             ("crates/lint/src/rules.rs", include_str!("rules.rs")),
+            ("crates/lint/src/tree.rs", include_str!("tree.rs")),
             ("crates/lint/src/lib.rs", include_str!("lib.rs")),
             ("crates/lint/src/main.rs", include_str!("main.rs")),
         ] {

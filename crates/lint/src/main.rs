@@ -1,15 +1,31 @@
-//! `muaa-lint` CLI: `cargo run -p muaa-lint [-- <workspace-root>]`.
+//! `muaa-lint` CLI: `cargo run -p muaa-lint [-- [--format=json] [<workspace-root>]]`
+//! (or the `cargo lint` alias from `.cargo/config.toml`).
 //!
 //! Exits 0 when the workspace passes, 1 on violations, 2 on usage /
-//! I/O errors. CI runs this on both feature configs (the pass itself is
-//! config-independent — it reads sources, not cfg-expanded code).
+//! I/O errors. `--format=json` emits one JSON object per violation plus
+//! a summary object — what CI archives and tooling parses; the default
+//! text format is what the GitHub problem matcher annotates. CI runs
+//! this on both feature configs (the pass itself is config-independent
+//! — it reads sources, not cfg-expanded code).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = match args.as_slice() {
+    let mut json = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--format=json" => json = true,
+            "--format=text" => json = false,
+            a if a.starts_with("--") => {
+                eprintln!("usage: muaa-lint [--format=json|text] [workspace-root]");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let root = match paths.as_slice() {
         [] => {
             let cwd = match std::env::current_dir() {
                 Ok(d) => d,
@@ -28,13 +44,17 @@ fn main() -> ExitCode {
         }
         [path] => PathBuf::from(path),
         _ => {
-            eprintln!("usage: muaa-lint [workspace-root]");
+            eprintln!("usage: muaa-lint [--format=json|text] [workspace-root]");
             return ExitCode::from(2);
         }
     };
     match muaa_lint::run(&root) {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.clean() {
                 ExitCode::SUCCESS
             } else {

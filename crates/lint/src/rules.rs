@@ -1,6 +1,7 @@
-//! The MUAA rule set (DESIGN.md §13): five repo-specific determinism
-//! and safety rules, declared in [`RULES`] with per-path allowlists and
-//! applied over the token stream from [`crate::lexer`].
+//! The MUAA rule set (DESIGN.md §13–§14): nine repo-specific
+//! determinism and safety rules, declared in [`RULES`] with per-path
+//! allowlists and applied over the token stream from [`crate::lexer`]
+//! plus the item view from [`crate::tree`].
 //!
 //! | id | guards | escape hatch |
 //! |----|--------|--------------|
@@ -9,15 +10,26 @@
 //! | D3 | every `unsafe` needs an immediately preceding `// SAFETY:` | (the comment itself) |
 //! | D4 | no `.unwrap()`/`.expect()` in core/spatial library code | `// lint: allow(unwrap)` |
 //! | D5 | every `#[cfg(feature = "parallel")]` needs a `not(...)` counterpart | `// lint: allow(par_only)` |
+//! | D6 | no allocating constructs inside `#[muaa::hot]` functions | `// lint: allow(hot_alloc)` |
+//! | D7 | no order-sensitive float reductions in `cfg(feature = "parallel")` items | `// lint: allow(float_reduce)` |
+//! | D8 | every allow annotation is justified and still suppresses something | (none — fix the annotation) |
+//! | D9 | every `debug_validate` is reachable from at least one test | `// lint: allow(dead_validator)` |
 //!
 //! D1/D2 exist because the repo's 0-ULP parallel/sequential and
 //! delta-vs-rebuild guarantees die silently when a float comparator is
 //! non-total (NaN makes `sort_by` order unspecified) or when a merge
 //! order depends on hash-table iteration. D5 keeps the
-//! `--no-default-features` build honest. An annotation applies to its
-//! own line and the line directly below it.
+//! `--no-default-features` build honest. D6 is the static half of the
+//! zero-allocation claim the `muaa-sanitize` runtime guards check
+//! dynamically; D7 is the static half of the thread-count-invariance
+//! claim the determinism harness checks end-to-end. An annotation
+//! applies to its own line and the line directly below it; D8 keeps
+//! the annotation inventory honest (doc comments never register
+//! annotations, so rule tables like the one above are inert).
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::tree::ItemTree;
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Methods whose closure argument is an ordering decision: a
@@ -114,6 +126,40 @@ pub const RULES: &[RuleSpec] = &[
         exclude: &["/tests/", "/benches/"],
         skip_test_code: true,
     },
+    RuleSpec {
+        id: "D6",
+        summary: "allocating construct inside a #[muaa::hot] function",
+        allow_key: "hot_alloc",
+        include: &[],
+        exclude: &[],
+        skip_test_code: true,
+    },
+    RuleSpec {
+        id: "D7",
+        summary: "order-sensitive float reduction in cfg(feature = \"parallel\") code \
+                  (use muaa_core::par::sum_f64 / par_sum_f64)",
+        allow_key: "float_reduce",
+        // The fixed-chunk reducers themselves live in par.rs.
+        include: &[],
+        exclude: &["crates/core/src/par.rs"],
+        skip_test_code: true,
+    },
+    RuleSpec {
+        id: "D8",
+        summary: "allow annotation without a justification, or stale (suppresses nothing)",
+        allow_key: "", // no escape hatch: fix or delete the annotation
+        include: &[],
+        exclude: &[],
+        skip_test_code: false,
+    },
+    RuleSpec {
+        id: "D9",
+        summary: "debug_validate unreachable from any test",
+        allow_key: "dead_validator",
+        include: &["crates/", "src/"],
+        exclude: &[],
+        skip_test_code: false,
+    },
 ];
 
 /// A diagnostic: `file:line:col`, rule id, and the offending line.
@@ -125,6 +171,10 @@ pub struct Violation {
     pub col: u32,
     pub message: String,
     pub snippet: String,
+    /// The `lint: allow(<key>)` key that would waive this violation
+    /// (empty for rules with no escape hatch) — machine consumers of
+    /// `--format=json` use it to suggest the annotation.
+    pub allow_key: &'static str,
 }
 
 impl std::fmt::Display for Violation {
@@ -146,6 +196,27 @@ pub struct UnsafeSite {
     pub has_safety: bool,
 }
 
+/// One `lint: allow(<key>)` annotation occurrence, with the hygiene
+/// facts rule D8 audits: whether its comment block says *why*, and
+/// whether any rule actually consulted-and-used it this pass.
+pub(crate) struct AllowSite {
+    pub(crate) key: String,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+    /// The surrounding non-doc comment block carries at least
+    /// [`MIN_JUSTIFICATION_ALNUM`] alphanumeric chars beyond the allow
+    /// fragments themselves.
+    pub(crate) justified: bool,
+    /// Set by [`FileAnalysis::allowed`] when a rule suppresses a match
+    /// through this site — interior mutability because rules only hold
+    /// `&FileAnalysis`.
+    pub(crate) used: Cell<bool>,
+}
+
+/// Minimum alphanumeric characters of comment text (beyond the allow
+/// fragments) for an annotation to count as justified.
+const MIN_JUSTIFICATION_ALNUM: usize = 8;
+
 /// Everything the rules need to know about one source file.
 pub struct FileAnalysis {
     /// Workspace-relative path, `/`-separated.
@@ -154,8 +225,10 @@ pub struct FileAnalysis {
     tokens: Vec<Token>,
     /// Indices into `tokens` of non-comment tokens.
     code: Vec<usize>,
-    /// line → annotation keys allowed there.
-    allow: BTreeMap<u32, BTreeSet<String>>,
+    /// Every allow annotation, in source order.
+    pub(crate) allow_sites: Vec<AllowSite>,
+    /// line → indices into `allow_sites` registered there.
+    allow: BTreeMap<u32, Vec<usize>>,
     /// Lines touched by any comment.
     comment_lines: BTreeSet<u32>,
     /// Lines touched by a comment containing `SAFETY:`.
@@ -187,29 +260,60 @@ impl FileAnalysis {
             .filter(|(_, t)| !t.is_comment())
             .map(|(i, _)| i)
             .collect();
-        let mut allow: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+        let mut allow: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        let mut allow_sites: Vec<AllowSite> = Vec::new();
         let mut comment_lines = BTreeSet::new();
         let mut safety_lines = BTreeSet::new();
+        // Non-doc comments group into contiguous blocks; the block's
+        // combined text is the justification context for every allow
+        // annotation inside it (D8). Doc comments are documentation —
+        // they describe annotations without registering them.
+        let mut block_end = 0u32;
+        let mut block_text = String::new();
+        let mut block_sites: Vec<usize> = Vec::new();
         for t in &tokens {
             if !t.is_comment() {
                 continue;
             }
-            let span = t.line..=t.line + t.text.matches('\n').count() as u32;
-            for l in span.clone() {
+            let span_end = t.line + t.text.matches('\n').count() as u32;
+            for l in t.line..=span_end {
                 comment_lines.insert(l);
             }
             if t.text.contains("SAFETY:") {
-                for l in span.clone() {
+                for l in t.line..=span_end {
                     safety_lines.insert(l);
                 }
             }
+            if is_doc_comment(t) {
+                continue;
+            }
+            if t.line > block_end + 1 {
+                seal_block(&block_text, &block_sites, &mut allow_sites, &mut allow, block_end);
+                block_text.clear();
+                block_sites.clear();
+            }
+            block_text.push_str(&t.text);
+            block_text.push('\n');
+            block_end = span_end;
             for key in parse_allow_keys(&t.text) {
+                let idx = allow_sites.len();
+                allow_sites.push(AllowSite {
+                    key,
+                    line: t.line,
+                    col: t.col,
+                    justified: false,
+                    used: Cell::new(false),
+                });
+                block_sites.push(idx);
                 // Register on both the first and last comment line so
                 // trailing and above-the-line placements both work.
-                allow.entry(t.line).or_default().insert(key.clone());
-                allow.entry(*span.end()).or_default().insert(key);
+                allow.entry(t.line).or_default().push(idx);
+                if span_end != t.line {
+                    allow.entry(span_end).or_default().push(idx);
+                }
             }
         }
+        seal_block(&block_text, &block_sites, &mut allow_sites, &mut allow, block_end);
         let path_is_test = rel_path.contains("/tests/")
             || rel_path.starts_with("tests/")
             || rel_path.contains("/benches/");
@@ -218,6 +322,7 @@ impl FileAnalysis {
             lines: src.lines().map(str::to_string).collect(),
             tokens,
             code,
+            allow_sites,
             allow,
             comment_lines,
             safety_lines,
@@ -228,19 +333,36 @@ impl FileAnalysis {
         fa
     }
 
-    fn tok(&self, ci: usize) -> &Token {
+    /// Token at code index `ci` (comments skipped).
+    pub(crate) fn tok(&self, ci: usize) -> &Token {
         &self.tokens[self.code[ci]]
     }
 
-    /// Is `key` waived on `line` (annotation there or on the line above)?
+    /// Number of non-comment tokens.
+    pub(crate) fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Is `key` waived on `line` (annotation there or on the line
+    /// above)? A `true` marks every matching site as used — D8's
+    /// staleness audit is exactly the sites this never touched.
     fn allowed(&self, key: &str, line: u32) -> bool {
-        [line, line.saturating_sub(1)]
-            .iter()
-            .any(|l| self.allow.get(l).is_some_and(|keys| keys.contains(key)))
+        let mut hit = false;
+        for l in [line, line.saturating_sub(1)] {
+            if let Some(idxs) = self.allow.get(&l) {
+                for &i in idxs {
+                    if self.allow_sites[i].key == key {
+                        self.allow_sites[i].used.set(true);
+                        hit = true;
+                    }
+                }
+            }
+        }
+        hit
     }
 
     /// Is `line` inside test collateral?
-    fn in_test(&self, line: u32) -> bool {
+    pub(crate) fn in_test(&self, line: u32) -> bool {
         self.path_is_test || self.test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
     }
 
@@ -260,6 +382,7 @@ impl FileAnalysis {
             col,
             message,
             snippet,
+            allow_key: spec(rule).allow_key,
         }
     }
 
@@ -332,7 +455,7 @@ impl FileAnalysis {
 
     /// From the code index of a `[`, return the attribute's inner tokens
     /// (cloned) and the code index of the matching `]`.
-    fn collect_attr(&self, open: usize) -> Option<(Vec<Token>, usize)> {
+    pub(crate) fn collect_attr(&self, open: usize) -> Option<(Vec<Token>, usize)> {
         let mut depth = 0i32;
         let mut out = Vec::new();
         for k in open..self.code.len() {
@@ -397,6 +520,58 @@ impl FileAnalysis {
     }
 }
 
+/// Doc comments (`///`, `//!`, `/** */`, `/*! */`) are documentation:
+/// they may *mention* annotations (rule tables, examples) without
+/// registering them. The lexer strips the `//` / `/*`, so the doc
+/// marker is the first body character.
+fn is_doc_comment(t: &Token) -> bool {
+    match t.kind {
+        TokenKind::LineComment => t.text.starts_with('/') || t.text.starts_with('!'),
+        TokenKind::BlockComment => t.text.starts_with('*') || t.text.starts_with('!'),
+        _ => false,
+    }
+}
+
+/// Close out one contiguous comment block: its allow sites are
+/// justified iff the block text says something beyond the annotations,
+/// and every site is re-registered on the block's last line so an
+/// annotation anywhere in the block covers the code directly below it.
+fn seal_block(
+    block_text: &str,
+    block_sites: &[usize],
+    allow_sites: &mut [AllowSite],
+    allow: &mut BTreeMap<u32, Vec<usize>>,
+    block_end: u32,
+) {
+    if block_sites.is_empty() {
+        return;
+    }
+    let justified = justification_weight(block_text) >= MIN_JUSTIFICATION_ALNUM;
+    for &i in block_sites {
+        allow_sites[i].justified = justified;
+        let at_end = allow.entry(block_end).or_default();
+        if !at_end.contains(&i) {
+            at_end.push(i);
+        }
+    }
+}
+
+/// Alphanumeric characters in `block` outside `lint: allow(…)`
+/// fragments — the "did you say why" measure for D8.
+fn justification_weight(block: &str) -> usize {
+    let mut weight = 0usize;
+    let mut rest = block;
+    while let Some(pos) = rest.find("lint: allow(") {
+        weight += rest[..pos].chars().filter(|c| c.is_alphanumeric()).count();
+        rest = &rest[pos + "lint: allow(".len()..];
+        match rest.find(')') {
+            Some(close) => rest = &rest[close + 1..],
+            None => return weight,
+        }
+    }
+    weight + rest.chars().filter(|c| c.is_alphanumeric()).count()
+}
+
 /// Extract every `lint: allow(key)` from a comment body.
 fn parse_allow_keys(comment: &str) -> Vec<String> {
     let mut keys = Vec::new();
@@ -435,8 +610,12 @@ fn spec(id: &str) -> &'static RuleSpec {
     RULES.iter().find(|r| r.id == id).expect("known rule id")
 }
 
-/// Run every applicable rule over one analysed file.
-pub fn run_all(fa: &FileAnalysis) -> (Vec<Violation>, Vec<UnsafeSite>) {
+/// Run every applicable *per-file* rule over one analysed file. D8
+/// (allow hygiene) and D9 (dead validators) run afterwards from
+/// [`crate::run_sources`]: D9 needs the whole workspace, and D8's
+/// staleness audit must observe every other rule's allow consultations
+/// — including D9's.
+pub fn run_all(fa: &FileAnalysis, tree: &ItemTree) -> (Vec<Violation>, Vec<UnsafeSite>) {
     let mut violations = Vec::new();
     let mut unsafe_sites = Vec::new();
     if applies(spec("D1"), &fa.rel_path) {
@@ -455,6 +634,12 @@ pub fn run_all(fa: &FileAnalysis) -> (Vec<Violation>, Vec<UnsafeSite>) {
     }
     if applies(spec("D5"), &fa.rel_path) {
         violations.extend(d5_cfg_pairs(fa));
+    }
+    if applies(spec("D6"), &fa.rel_path) {
+        violations.extend(d6_hot_alloc(fa, tree));
+    }
+    if applies(spec("D7"), &fa.rel_path) {
+        violations.extend(d7_float_reduce(fa, tree));
     }
     violations.sort_by_key(|v| (v.line, v.col, v.rule));
     violations.dedup_by_key(|v| (v.line, v.col, v.rule));
@@ -798,4 +983,315 @@ fn classify_parallel_cfg(attr: &[Token]) -> Option<bool> {
         return Some(true);
     }
     None
+}
+
+/// D6: allocating constructs inside `#[muaa::hot]` functions — the
+/// static half of the claim the `muaa-sanitize` `AllocGuard`s verify at
+/// runtime. Banned: `Vec::new`, `vec![…]`, `Box::new`, `format!`,
+/// `.push(…)`, `.collect…`, `.to_vec()`. Capacity-preserving calls
+/// (`Vec::with_capacity`, `.reserve`, `.extend` into reserved space,
+/// `.clear`) stay legal — hot loops reuse caller-owned scratch.
+fn d6_hot_alloc(fa: &FileAnalysis, tree: &ItemTree) -> Vec<Violation> {
+    let rule = spec("D6");
+    let mut out = Vec::new();
+    let n = fa.code_len();
+    for f in tree.fns.iter().filter(|f| f.is_hot) {
+        let Some((open, close)) = f.body else { continue };
+        for ci in open + 1..close.min(n) {
+            let t = fa.tok(ci);
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let path_new = |ident: &str| {
+                t.is_ident(ident)
+                    && ci + 3 < n
+                    && fa.tok(ci + 1).is_punct(':')
+                    && fa.tok(ci + 2).is_punct(':')
+                    && fa.tok(ci + 3).is_ident("new")
+            };
+            let bang = |ident: &str| t.is_ident(ident) && ci + 1 < n && fa.tok(ci + 1).is_punct('!');
+            let method = |ident: &str, needs_call: bool| {
+                t.is_ident(ident)
+                    && ci > 0
+                    && fa.tok(ci - 1).is_punct('.')
+                    && (!needs_call || (ci + 1 < n && fa.tok(ci + 1).is_punct('(')))
+            };
+            let what = if path_new("Vec") {
+                "Vec::new()"
+            } else if path_new("Box") {
+                "Box::new(…)"
+            } else if bang("vec") {
+                "vec![…]"
+            } else if bang("format") {
+                "format!(…)"
+            } else if method("push", true) {
+                ".push(…)"
+            } else if method("to_vec", true) {
+                ".to_vec()"
+            } else if method("collect", false) {
+                // `.collect()` and `.collect::<…>()` both match.
+                ".collect()"
+            } else {
+                continue;
+            };
+            if rule.skip_test_code && fa.in_test(t.line) {
+                continue;
+            }
+            if !fa.allowed(rule.allow_key, t.line) {
+                out.push(fa.violation(
+                    rule.id,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{what}` allocates inside `#[muaa::hot]` fn `{}`; hoist to \
+                         caller-owned scratch or justify with \
+                         `// lint: allow(hot_alloc): <why>`",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// D7: order-sensitive float reductions inside items compiled only
+/// under `feature = "parallel"`. A `.sum::<f64>()` or an adding
+/// `.fold(…)` there re-associates when the chunking changes; the
+/// fixed-chunk reducers in `muaa_core::par` are thread-count-invariant
+/// by construction.
+fn d7_float_reduce(fa: &FileAnalysis, tree: &ItemTree) -> Vec<Violation> {
+    let rule = spec("D7");
+    if tree.parallel_regions.is_empty() {
+        return Vec::new();
+    }
+    let in_region =
+        |line: u32| tree.parallel_regions.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+    let mut out = Vec::new();
+    let n = fa.code_len();
+    for ci in 1..n {
+        let t = fa.tok(ci);
+        if t.kind != TokenKind::Ident || !fa.tok(ci - 1).is_punct('.') || !in_region(t.line) {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            // `.sum::<f64>()` — the turbofish pins the accumulator type.
+            "sum" => {
+                ci + 5 < n
+                    && fa.tok(ci + 1).is_punct(':')
+                    && fa.tok(ci + 2).is_punct(':')
+                    && fa.tok(ci + 3).is_punct('<')
+                    && fa.tok(ci + 4).is_ident("f64")
+                    && fa.tok(ci + 5).is_punct('>')
+            }
+            "fold" => {
+                ci + 1 < n
+                    && fa.tok(ci + 1).is_punct('(')
+                    && fold_arg_has_binary_add(fa, ci + 1, n)
+            }
+            _ => false,
+        };
+        if !hit || (rule.skip_test_code && fa.in_test(t.line)) {
+            continue;
+        }
+        if !fa.allowed(rule.allow_key, t.line) {
+            out.push(fa.violation(
+                rule.id,
+                t.line,
+                t.col,
+                format!(
+                    "order-sensitive float reduction `.{}` in \
+                     `#[cfg(feature = \"parallel\")]` code; route it through \
+                     `muaa_core::par::sum_f64` / `par_sum_f64` (fixed-chunk, \
+                     thread-count-invariant) or justify with \
+                     `// lint: allow(float_reduce): <why>`",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Does the argument list opened at code index `open` contain a binary
+/// `+` (an addition, not a unary sign or generic-bound `+`)?
+fn fold_arg_has_binary_add(fa: &FileAnalysis, open: usize, n: usize) -> bool {
+    let mut depth = 0i32;
+    for j in open..n {
+        let t = fa.tok(j);
+        match t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            TokenKind::Punct('+') if j > open => {
+                let prev = fa.tok(j - 1);
+                if matches!(prev.kind, TokenKind::Ident | TokenKind::Num)
+                    || prev.is_punct(')')
+                    || prev.is_punct(']')
+                {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// D8: allow-annotation hygiene. Runs after every other rule (see
+/// [`run_all`]) so the `used` flags are final: an annotation must carry
+/// a justification in its comment block, and must still suppress a real
+/// match — a stale allow is a papered-over fix that outlived its bug.
+pub fn d8_allow_hygiene(fa: &FileAnalysis) -> Vec<Violation> {
+    let rule = spec("D8");
+    if !applies(rule, &fa.rel_path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for site in &fa.allow_sites {
+        if !site.justified {
+            out.push(fa.violation(
+                rule.id,
+                site.line,
+                site.col,
+                format!(
+                    "`lint: allow({})` without a justification — say *why* the rule is \
+                     wrong here, in the same comment block",
+                    site.key
+                ),
+            ));
+        } else if !site.used.get() && !fa.in_test(site.line) && !fa.in_test(site.line + 1) {
+            out.push(fa.violation(
+                rule.id,
+                site.line,
+                site.col,
+                format!(
+                    "stale `lint: allow({})`: no rule fires here any more — remove the \
+                     annotation",
+                    site.key
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// D9: every `debug_validate` definition must be reachable from at
+/// least one test — a validator nothing runs is false confidence.
+///
+/// Reachability is a fixpoint over the whole workspace: a
+/// `.debug_validate(…)` call *activates* when it sits in test code, or
+/// inside the body of an already-live validator (validators delegate to
+/// sub-validators); a definition `T::debug_validate` is live when an
+/// activating call exists in a file that mentions `T`. The
+/// type-mention check is a heuristic (no type inference here), but a
+/// false "live" only weakens the rule — it never flags working code.
+pub fn d9_dead_validators(analyzed: &[(FileAnalysis, ItemTree)]) -> Vec<Violation> {
+    let rule = spec("D9");
+    struct Def<'a> {
+        fa: &'a FileAnalysis,
+        file: usize,
+        line: u32,
+        col: u32,
+        ty: String,
+        body_lines: Option<(u32, u32)>,
+    }
+    let mut defs: Vec<Def<'_>> = Vec::new();
+    for (fi, (fa, tree)) in analyzed.iter().enumerate() {
+        if !applies(rule, &fa.rel_path) {
+            continue;
+        }
+        for f in &tree.fns {
+            if f.name != "debug_validate" || fa.in_test(f.line) {
+                continue;
+            }
+            let Some(ty) = f.self_type.clone() else { continue };
+            defs.push(Def {
+                fa,
+                file: fi,
+                line: f.line,
+                col: f.col,
+                ty,
+                body_lines: f.body_lines,
+            });
+        }
+    }
+    if defs.is_empty() {
+        return Vec::new();
+    }
+    // Every `.debug_validate(` call site, with its activation state.
+    let mut calls: Vec<(usize, u32, bool)> = Vec::new();
+    for (fi, (fa, _)) in analyzed.iter().enumerate() {
+        let n = fa.code_len();
+        for ci in 1..n {
+            let t = fa.tok(ci);
+            if t.is_ident("debug_validate")
+                && fa.tok(ci - 1).is_punct('.')
+                && ci + 1 < n
+                && fa.tok(ci + 1).is_punct('(')
+            {
+                calls.push((fi, t.line, fa.in_test(t.line)));
+            }
+        }
+    }
+    // Which type names each file mentions (as real code idents).
+    let mentions: Vec<BTreeSet<&str>> = analyzed
+        .iter()
+        .map(|(fa, _)| {
+            (0..fa.code_len())
+                .map(|ci| fa.tok(ci))
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect()
+        })
+        .collect();
+    let mut live = vec![false; defs.len()];
+    loop {
+        let mut changed = false;
+        for (di, d) in defs.iter().enumerate() {
+            if !live[di]
+                && calls
+                    .iter()
+                    .any(|&(fi, _, act)| act && mentions[fi].contains(d.ty.as_str()))
+            {
+                live[di] = true;
+                changed = true;
+            }
+        }
+        for c in calls.iter_mut() {
+            if !c.2
+                && defs.iter().enumerate().any(|(di, d)| {
+                    live[di]
+                        && d.file == c.0
+                        && d.body_lines.is_some_and(|(lo, hi)| lo <= c.1 && c.1 <= hi)
+                })
+            {
+                c.2 = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    defs.iter()
+        .zip(&live)
+        .filter(|&(d, &alive)| !alive && !d.fa.allowed(rule.allow_key, d.line))
+        .map(|(d, _)| {
+            d.fa.violation(
+                rule.id,
+                d.line,
+                d.col,
+                format!(
+                    "`{}::debug_validate` is unreachable from any test — call it from a \
+                     test or justify with `// lint: allow(dead_validator): <why>`",
+                    d.ty
+                ),
+            )
+        })
+        .collect()
 }

@@ -413,7 +413,11 @@ impl GridIndex {
     /// `f(id, squared distance to center)`, in fresh-build order: cells
     /// row-major, ids ascending within a cell. Callers apply their own
     /// radius predicate.
+    #[cfg_attr(any(), muaa::hot)]
     pub(crate) fn visit_candidates(&self, center: Point, radius: f64, mut f: impl FnMut(u32, f64)) {
+        // Counting (not strict): `f` may grow a caller-reused output
+        // buffer; only the steady state must be allocation-free.
+        let _hot = muaa_core::sanitize::AllocGuard::counting("grid.visit_candidates");
         if self.points.is_empty() || radius < 0.0 || radius.is_nan() {
             return;
         }
@@ -490,11 +494,15 @@ impl GridIndex {
 
     /// Indices of all points within `radius` (inclusive) of `center`,
     /// appended to `out` in unspecified order. `out` is cleared first.
+    #[cfg_attr(any(), muaa::hot)]
     pub fn range_query_into(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+        let _hot = muaa_core::sanitize::AllocGuard::counting("grid.range_query_into");
         out.clear();
         let r2 = radius * radius;
         self.visit_candidates(center, radius, |id, d2| {
             if d2 <= r2 {
+                // Caller-reused buffer, in-capacity at steady state;
+                // the counting guard pins it. lint: allow(hot_alloc)
                 out.push(id);
             }
         });
@@ -605,7 +613,8 @@ impl GridIndex {
         // of the map walk cannot affect the result. lint: allow(hash_iter)
         let overflow: usize = self.extra.values().map(Vec::len).sum();
         assert_eq!(self.extra_count, overflow, "extra_count drifted from the overflow tally");
-        // lint: allow(hash_iter)
+        // Per-entry assertions only; no value depends on the walk
+        // order of the map. lint: allow(hash_iter)
         for (&cell, list) in &self.extra {
             assert!((cell as usize) < cells, "overflow cell {cell} out of range");
             assert!(!list.is_empty(), "empty overflow lists must be pruned");

@@ -188,7 +188,9 @@ impl VendorIndex {
 
     /// All vendors whose area contains `p` (`d(p, v_j) ≤ r_j`),
     /// appended to `out` (cleared first), in unspecified order.
+    #[cfg_attr(any(), muaa::hot)]
     pub fn covering_into(&self, p: Point, out: &mut Vec<VendorId>) {
+        let _hot = muaa_core::sanitize::AllocGuard::counting("vendor_index.covering_into");
         out.clear();
         for class in &self.classes {
             // A member's own radius never exceeds its class radius, so
@@ -196,6 +198,8 @@ impl VendorIndex {
             // the old nested-Vec path applied first.
             class.grid.visit_candidates(p, class.max_radius, |local, d2| {
                 if d2 <= class.r2[local as usize] {
+                    // Caller-reused buffer, in-capacity at steady state;
+                    // the counting guard pins it. lint: allow(hot_alloc)
                     out.push(class.ids[local as usize]);
                 }
             });
