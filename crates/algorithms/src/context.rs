@@ -430,6 +430,35 @@ impl<'a> SolverContext<'a> {
         ctx
     }
 
+    /// [`indexed`](Self::indexed), but taking ownership of the instance
+    /// (the context's lifetime is then tied only to the model). The
+    /// sharded engine uses this for its per-tile sub-instances, which
+    /// have no owner other than the shard itself.
+    pub fn indexed_owned(instance: ProblemInstance, model: &'a dyn UtilityModel) -> Self {
+        let pearson = model.as_pearson();
+        let (indexes, cache) = par::join(
+            || {
+                let customer_points = instance.customers().iter().map(|c| c.location).collect();
+                let mean_radius = instance.stats().mean_radius.max(1e-6);
+                let customer_grid = GridIndex::new(customer_points, mean_radius);
+                let vendor_index = VendorIndex::new(instance.vendors());
+                (customer_grid, vendor_index)
+            },
+            || pearson.map(|p| PairCache::build(&instance, p)),
+        );
+        let mut ctx = SolverContext {
+            instance: Cow::Owned(instance),
+            model,
+            customer_grid: Some(indexes.0),
+            vendor_index: Some(indexes.1),
+            pearson,
+            cache,
+            eligibility: EligibilityIndex::default(),
+        };
+        ctx.eligibility = ctx.build_eligibility();
+        ctx
+    }
+
     /// Build a context without spatial indexes (any distance model).
     /// Pair validity scans all entities, but Pearson models still get
     /// the moments cache — only non-geometric models (e.g.

@@ -32,6 +32,17 @@
 //! utility model and the spatial indexes, and they return
 //! [`SolveOutcome`]s carrying the assignment set, its total utility and
 //! the measured wall-clock time.
+//!
+//! ## Tile-sharded engine (DESIGN.md §15)
+//!
+//! [`ShardedContext`] partitions the plane into spatial tiles and keeps
+//! one [`SolverContext`] shard per tile (its customers plus every
+//! vendor whose broadcast disc intersects it). Candidate generation
+//! runs shard-parallel; a deterministic merge reconstructs each
+//! vendor's global eligibility row, and the offline solver bodies run
+//! unchanged on the merged view — so sharded GREEDY / RECON /
+//! BATCHED-RECON output is byte-identical to the unsharded solvers at
+//! any tile and thread count.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -40,10 +51,13 @@ mod bounds;
 mod context;
 pub mod offline;
 pub mod online;
+mod oracle;
+pub mod shard;
 mod stats;
 
 pub use bounds::{upper_bounds, UpperBounds};
 pub use context::{SolverContext, DEFAULT_PAIR_CACHE_CAP};
+pub use shard::ShardedContext;
 pub use offline::batched::BatchedRecon;
 pub use offline::exact::ExactBnB;
 pub use offline::greedy::{Greedy, NaiveGreedy};

@@ -19,8 +19,9 @@
 use crate::context::SolverContext;
 use crate::offline::recon::MckpBackend;
 use crate::offline::OfflineSolver;
-use muaa_core::{AdTypeId, Assignment, AssignmentSet, CustomerId, VendorId};
-use muaa_knapsack::{MckpItem, MckpProblem, MckpSolver};
+use crate::oracle::PairOracle;
+use muaa_core::{AdTypeId, Assignment, AssignmentSet, CustomerId, ProblemInstance, VendorId};
+use muaa_knapsack::{MckpItem, MckpProblem};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -59,6 +60,16 @@ impl BatchedRecon {
     /// The window count.
     pub fn windows(&self) -> usize {
         self.windows
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> MckpBackend {
+        self.backend
+    }
+
+    /// The configured reconciliation-order seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 }
 
@@ -100,138 +111,147 @@ fn shed_window_overload(
     }
 }
 
+/// The full batched pipeline over any [`PairOracle`]: per-window MCKPs
+/// over remaining budgets, window reconciliation, sequential commit.
+/// `BatchedRecon` delegates here with the [`SolverContext`] oracle; the
+/// sharded engine (`crate::shard`) reuses the identical body with its
+/// merged-view oracle, making sharded BATCHED-RECON byte-identical by
+/// construction.
+pub(crate) fn batched_assign<O: PairOracle>(
+    inst: &ProblemInstance,
+    oracle: &O,
+    windows: usize,
+    backend: MckpBackend,
+    seed: u64,
+) -> AssignmentSet {
+    let m = inst.num_customers();
+    let mut set = AssignmentSet::new(inst);
+    if m == 0 {
+        return set;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    use std::cell::RefCell;
+    thread_local! {
+        static BASES: RefCell<Vec<f64>> = RefCell::new(Vec::new());
+    }
+
+    let windows = windows.min(m);
+    for w in 0..windows {
+        let lo = w * m / windows;
+        let hi = (w + 1) * m / windows;
+        let in_window = |cid: CustomerId| (lo..hi).contains(&cid.index());
+
+        // ---- Phase 1 per window: MCKP over remaining budgets. ----
+        // picked[vendor] = (customer, ad type, λ) chosen this window.
+        // Each vendor's MCKP reads only the committed `set`, so the
+        // solves fan out in parallel; `window_load` is then derived
+        // sequentially from the per-vendor lists in vendor order,
+        // matching the sequential loop's state exactly.
+        let mut picked: Vec<Vec<(CustomerId, AdTypeId, f64)>> =
+            muaa_core::par::par_map(inst.vendors(), 1, |j, vendor| {
+                let vid = VendorId::from(j);
+                let remaining = vendor.budget - set.vendor_spend(vid);
+                if remaining < inst.min_ad_cost() {
+                    return Vec::new();
+                }
+                // This window's candidates: the vendor's eligibility
+                // row restricted to the window range.
+                let candidates: Vec<CustomerId> = oracle
+                    .eligible(vid)
+                    .iter()
+                    .copied()
+                    .filter(|&cid| in_window(cid))
+                    // Customers already at capacity from earlier windows
+                    // can never take another ad.
+                    .filter(|&cid| set.customer_load(cid) < inst.customer(cid).capacity)
+                    .collect();
+                if candidates.is_empty() {
+                    return Vec::new();
+                }
+                let mut problem = MckpProblem::new(remaining.as_cents());
+                BASES.with(|scratch| {
+                    let bases = &mut *scratch.borrow_mut();
+                    oracle.bases_into(vid, &candidates, bases);
+                    for &base in bases.iter() {
+                        problem.add_class(
+                            inst.ad_types()
+                                .iter()
+                                .map(|t| {
+                                    MckpItem::new(
+                                        t.cost.as_cents(),
+                                        (base * t.effectiveness).max(0.0),
+                                    )
+                                })
+                                .collect(),
+                        );
+                    }
+                    let solution = backend.solve(&problem);
+                    let mut out = Vec::new();
+                    for (class, item) in solution.picks() {
+                        let cid = candidates[class];
+                        let lambda =
+                            bases[class] * inst.ad_type(AdTypeId::from(item)).effectiveness;
+                        if lambda <= 0.0 {
+                            continue;
+                        }
+                        out.push((cid, AdTypeId::from(item), lambda));
+                    }
+                    out
+                })
+            });
+        let mut window_load = vec![0u32; hi - lo];
+        for list in &picked {
+            for &(cid, _, _) in list {
+                window_load[cid.index() - lo] += 1;
+            }
+        }
+
+        // ---- Phase 2 per window: reconcile window violations. ----
+        // Per-customer pick index, built once per window: each
+        // customer's picks as (vendor, λ) in vendor-ascending order.
+        // A vendor picks a customer at most once (one MCKP class per
+        // customer), so scanning a customer's entries in vendor
+        // order visits exactly the picks the old full rescan of
+        // `picked` visited, in the same order — the min-scan below
+        // therefore selects the identical worst pick (including the
+        // first-encountered tie/NaN behaviour of the strict `<`),
+        // at O(picks of cid) per removal instead of
+        // O(vendors · picks).
+        let mut picks_of: Vec<Vec<(u32, f64)>> = vec![Vec::new(); hi - lo];
+        for (j, list) in picked.iter().enumerate() {
+            for &(cid, _, lambda) in list {
+                picks_of[cid.index() - lo].push((j as u32, lambda));
+            }
+        }
+        // Effective capacity this window = capacity − prior load.
+        let mut violated: Vec<CustomerId> = (lo..hi)
+            .map(CustomerId::from)
+            .filter(|&cid| {
+                let cap = inst.customer(cid).capacity - set.customer_load(cid);
+                window_load[cid.index() - lo] > cap
+            })
+            .collect();
+        violated.shuffle(&mut rng);
+        for cid in violated {
+            let cap = inst.customer(cid).capacity - set.customer_load(cid);
+            shed_window_overload(cid, cap, lo, &mut picks_of, &mut picked, &mut window_load);
+        }
+
+        // ---- Commit the window. ----
+        for (j, list) in picked.iter().enumerate() {
+            for &(cid, tid, _) in list {
+                let a = Assignment::new(cid, VendorId::from(j), tid);
+                let ok = set.try_push(inst, a);
+                debug_assert!(ok, "window solution must be feasible");
+            }
+        }
+    }
+    set
+}
+
 impl OfflineSolver for BatchedRecon {
     fn assign(&self, ctx: &SolverContext<'_>) -> AssignmentSet {
-        let inst = ctx.instance();
-        let m = inst.num_customers();
-        let mut set = AssignmentSet::new(inst);
-        if m == 0 {
-            return set;
-        }
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        use std::cell::RefCell;
-        thread_local! {
-            static BASES: RefCell<Vec<f64>> = RefCell::new(Vec::new());
-        }
-
-        let windows = self.windows.min(m);
-        for w in 0..windows {
-            let lo = w * m / windows;
-            let hi = (w + 1) * m / windows;
-            let in_window = |cid: CustomerId| (lo..hi).contains(&cid.index());
-
-            // ---- Phase 1 per window: MCKP over remaining budgets. ----
-            // picked[vendor] = (customer, ad type, λ) chosen this window.
-            // Each vendor's MCKP reads only the committed `set`, so the
-            // solves fan out in parallel; `window_load` is then derived
-            // sequentially from the per-vendor lists in vendor order,
-            // matching the sequential loop's state exactly.
-            let mut picked: Vec<Vec<(CustomerId, AdTypeId, f64)>> =
-                muaa_core::par::par_map(inst.vendors(), 1, |j, vendor| {
-                    let vid = VendorId::from(j);
-                    let remaining = vendor.budget - set.vendor_spend(vid);
-                    if remaining < inst.min_ad_cost() {
-                        return Vec::new();
-                    }
-                    // This window's candidates: the vendor's CSR
-                    // eligibility slice restricted to the window range.
-                    let candidates: Vec<CustomerId> = ctx
-                        .eligible_customers(vid)
-                        .iter()
-                        .copied()
-                        .filter(|&cid| in_window(cid))
-                        // Customers already at capacity from earlier windows
-                        // can never take another ad.
-                        .filter(|&cid| set.customer_load(cid) < inst.customer(cid).capacity)
-                        .collect();
-                    if candidates.is_empty() {
-                        return Vec::new();
-                    }
-                    let mut problem = MckpProblem::new(remaining.as_cents());
-                    BASES.with(|scratch| {
-                        let bases = &mut *scratch.borrow_mut();
-                        ctx.pair_base_block(vid, &candidates, bases);
-                        for &base in bases.iter() {
-                            problem.add_class(
-                                inst.ad_types()
-                                    .iter()
-                                    .map(|t| {
-                                        MckpItem::new(
-                                            t.cost.as_cents(),
-                                            (base * t.effectiveness).max(0.0),
-                                        )
-                                    })
-                                    .collect(),
-                            );
-                        }
-                        let solution = match self.backend {
-                            MckpBackend::LpGreedy => muaa_knapsack::MckpLpGreedy.solve(&problem),
-                            MckpBackend::ExactDp => muaa_knapsack::MckpExactDp.solve(&problem),
-                            MckpBackend::Fptas(eps) => {
-                                muaa_knapsack::MckpFptas::new(eps).solve(&problem)
-                            }
-                        };
-                        let mut out = Vec::new();
-                        for (class, item) in solution.picks() {
-                            let cid = candidates[class];
-                            let lambda =
-                                bases[class] * inst.ad_type(AdTypeId::from(item)).effectiveness;
-                            if lambda <= 0.0 {
-                                continue;
-                            }
-                            out.push((cid, AdTypeId::from(item), lambda));
-                        }
-                        out
-                    })
-                });
-            let mut window_load = vec![0u32; hi - lo];
-            for list in &picked {
-                for &(cid, _, _) in list {
-                    window_load[cid.index() - lo] += 1;
-                }
-            }
-
-            // ---- Phase 2 per window: reconcile window violations. ----
-            // Per-customer pick index, built once per window: each
-            // customer's picks as (vendor, λ) in vendor-ascending order.
-            // A vendor picks a customer at most once (one MCKP class per
-            // customer), so scanning a customer's entries in vendor
-            // order visits exactly the picks the old full rescan of
-            // `picked` visited, in the same order — the min-scan below
-            // therefore selects the identical worst pick (including the
-            // first-encountered tie/NaN behaviour of the strict `<`),
-            // at O(picks of cid) per removal instead of
-            // O(vendors · picks).
-            let mut picks_of: Vec<Vec<(u32, f64)>> = vec![Vec::new(); hi - lo];
-            for (j, list) in picked.iter().enumerate() {
-                for &(cid, _, lambda) in list {
-                    picks_of[cid.index() - lo].push((j as u32, lambda));
-                }
-            }
-            // Effective capacity this window = capacity − prior load.
-            let mut violated: Vec<CustomerId> = (lo..hi)
-                .map(CustomerId::from)
-                .filter(|&cid| {
-                    let cap = inst.customer(cid).capacity - set.customer_load(cid);
-                    window_load[cid.index() - lo] > cap
-                })
-                .collect();
-            violated.shuffle(&mut rng);
-            for cid in violated {
-                let cap = inst.customer(cid).capacity - set.customer_load(cid);
-                shed_window_overload(cid, cap, lo, &mut picks_of, &mut picked, &mut window_load);
-            }
-
-            // ---- Commit the window. ----
-            for (j, list) in picked.iter().enumerate() {
-                for &(cid, tid, _) in list {
-                    let a = Assignment::new(cid, VendorId::from(j), tid);
-                    let ok = set.try_push(inst, a);
-                    debug_assert!(ok, "window solution must be feasible");
-                }
-            }
-        }
-        set
+        batched_assign(ctx.instance(), ctx, self.windows, self.backend, self.seed)
     }
 
     fn name(&self) -> &'static str {

@@ -13,41 +13,42 @@
 
 use crate::context::SolverContext;
 use crate::offline::OfflineSolver;
-use muaa_core::{AdTypeId, Assignment, AssignmentSet, CustomerId, VendorId};
+use crate::oracle::PairOracle;
+use muaa_core::{AdTypeId, Assignment, AssignmentSet, CustomerId, ProblemInstance, VendorId};
 
 /// One candidate triple with its static efficiency.
 #[derive(Clone, Copy, Debug)]
-struct Candidate {
-    customer: CustomerId,
-    vendor: VendorId,
-    ad_type: AdTypeId,
-    gamma: f64,
+pub(crate) struct Candidate {
+    pub(crate) customer: CustomerId,
+    pub(crate) vendor: VendorId,
+    pub(crate) ad_type: AdTypeId,
+    pub(crate) gamma: f64,
 }
 
 /// Collect every valid (customer, vendor, ad type) triple with positive
 /// utility. Vendors are scanned in parallel; per-vendor candidate lists
 /// are concatenated in vendor-id order, so the output is identical to
-/// the sequential scan.
+/// the sequential scan. Generic over the [`PairOracle`] so the sharded
+/// engine's merged view produces the identical candidate list.
 ///
 /// Zero-allocation inner loop (DESIGN.md §11): each vendor's eligible
-/// customers come from the precomputed CSR slice and their pair bases
-/// from one [`SolverContext::pair_base_block`] call into a thread-local
-/// scratch buffer reused across vendors.
+/// customers come from the oracle's row slice and their pair bases from
+/// one [`PairOracle::bases_into`] call into a thread-local scratch
+/// buffer reused across vendors.
 #[cfg_attr(any(), muaa::hot)]
-fn collect_candidates(ctx: &SolverContext<'_>) -> Vec<Candidate> {
+fn collect_candidates<O: PairOracle>(inst: &ProblemInstance, oracle: &O) -> Vec<Candidate> {
     use std::cell::RefCell;
     thread_local! {
         // Scratch reused across vendors. lint: allow(hot_alloc): one-time
         // thread-local init, not per-vendor work.
         static BASES: RefCell<Vec<f64>> = RefCell::new(Vec::new());
     }
-    let inst = ctx.instance();
     let per_vendor = muaa_core::par::par_map(inst.vendors(), 1, |j, _| {
         let vid = VendorId::from(j);
-        let cids = ctx.eligible_customers(vid);
+        let cids = oracle.eligible(vid);
         BASES.with(|scratch| {
             let mut bases = scratch.borrow_mut();
-            ctx.pair_base_block(vid, cids, &mut bases);
+            oracle.bases_into(vid, cids, &mut bases);
             // lint: allow(hot_alloc): par_map requires an owned
             // per-vendor result list — the one §11-sanctioned
             // allocation of this loop.
@@ -82,44 +83,57 @@ fn collect_candidates(ctx: &SolverContext<'_>) -> Vec<Candidate> {
     out
 }
 
+/// Sort candidates into GREEDY's commit order: efficiency descending,
+/// ties by ids for determinism.
+///
+/// `total_cmp` (not `partial_cmp(..).unwrap_or(Equal)`) so that a
+/// pathological utility model producing NaN gammas still yields a
+/// strict weak order — `sort_by` may panic on an inconsistent
+/// comparator, and `Equal`-on-NaN breaks transitivity. For the finite
+/// positive gammas of real models the two orders agree exactly (total
+/// order matches `<` on same-sign finite floats).
+///
+/// `par_sort_by` is a stable parallel merge sort producing the
+/// identical permutation to `sort_by` for any thread count (and falling
+/// back to it below its run threshold), so the global candidate order —
+/// and therefore the sweep — stays byte-identical between feature
+/// configurations.
+pub(crate) fn sort_candidates(candidates: &mut [Candidate]) {
+    muaa_core::par::par_sort_by(candidates, |a, b| {
+        b.gamma
+            .total_cmp(&a.gamma)
+            .then(a.customer.cmp(&b.customer))
+            .then(a.vendor.cmp(&b.vendor))
+            .then(a.ad_type.cmp(&b.ad_type))
+    });
+}
+
+/// The GREEDY body shared by the unsharded solver and the sharded
+/// engine: collect candidates through the oracle, sort into efficiency
+/// order, sweep into a feasible set on `inst`.
+pub(crate) fn greedy_assign<O: PairOracle>(inst: &ProblemInstance, oracle: &O) -> AssignmentSet {
+    let mut candidates = collect_candidates(inst, oracle);
+    sort_candidates(&mut candidates);
+    let mut set = AssignmentSet::new(inst);
+    for cand in candidates {
+        // Feasibility only ever degrades, so a one-pass sweep in
+        // efficiency order is equivalent to re-selecting the best
+        // feasible candidate each iteration.
+        set.try_push(
+            inst,
+            Assignment::new(cand.customer, cand.vendor, cand.ad_type),
+        );
+    }
+    set
+}
+
 /// Fast GREEDY: single sorted sweep over the static-efficiency order.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Greedy;
 
 impl OfflineSolver for Greedy {
     fn assign(&self, ctx: &SolverContext<'_>) -> AssignmentSet {
-        let mut candidates = collect_candidates(ctx);
-        // Sort by efficiency descending; ties by ids for determinism.
-        // `total_cmp` (not `partial_cmp(..).unwrap_or(Equal)`) so that a
-        // pathological utility model producing NaN gammas still yields a
-        // strict weak order — `sort_by` may panic on an inconsistent
-        // comparator, and `Equal`-on-NaN breaks transitivity. For the
-        // finite positive gammas of real models the two orders agree
-        // exactly (total order matches `<` on same-sign finite floats).
-        //
-        // `par_sort_by` is a stable parallel merge sort producing the
-        // identical permutation to `sort_by` for any thread count (and
-        // falling back to it below its run threshold), so the global
-        // candidate order — and therefore the sweep — stays
-        // byte-identical between feature configurations.
-        muaa_core::par::par_sort_by(&mut candidates, |a, b| {
-            b.gamma
-                .total_cmp(&a.gamma)
-                .then(a.customer.cmp(&b.customer))
-                .then(a.vendor.cmp(&b.vendor))
-                .then(a.ad_type.cmp(&b.ad_type))
-        });
-        let mut set = AssignmentSet::new(ctx.instance());
-        for cand in candidates {
-            // Feasibility only ever degrades, so a one-pass sweep in
-            // efficiency order is equivalent to re-selecting the best
-            // feasible candidate each iteration.
-            set.try_push(
-                ctx.instance(),
-                Assignment::new(cand.customer, cand.vendor, cand.ad_type),
-            );
-        }
-        set
+        greedy_assign(ctx.instance(), ctx)
     }
 
     fn name(&self) -> &'static str {
@@ -135,7 +149,7 @@ pub struct NaiveGreedy;
 
 impl OfflineSolver for NaiveGreedy {
     fn assign(&self, ctx: &SolverContext<'_>) -> AssignmentSet {
-        let mut candidates = collect_candidates(ctx);
+        let mut candidates = collect_candidates(ctx.instance(), ctx);
         let mut set = AssignmentSet::new(ctx.instance());
         loop {
             // Scan for the best feasible candidate.
@@ -331,7 +345,7 @@ mod tests {
         let model = PearsonUtility::uniform(3);
         let ctx = SolverContext::indexed(&inst, &model);
         assert!(
-            collect_candidates(&ctx).len() > 4096,
+            collect_candidates(&inst, &ctx).len() > 4096,
             "instance too small to exercise the parallel sort path"
         );
         let parallel = Greedy.assign(&ctx);

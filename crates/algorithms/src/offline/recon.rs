@@ -13,7 +13,8 @@
 
 use crate::context::SolverContext;
 use crate::offline::OfflineSolver;
-use muaa_core::{AdTypeId, Assignment, CustomerId, Money, VendorId};
+use crate::oracle::PairOracle;
+use muaa_core::{AdTypeId, Assignment, AssignmentSet, CustomerId, Money, ProblemInstance, VendorId};
 use muaa_knapsack::{MckpExactDp, MckpFptas, MckpItem, MckpLpGreedy, MckpProblem, MckpSolver};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -32,7 +33,7 @@ pub enum MckpBackend {
 }
 
 impl MckpBackend {
-    fn solve(&self, problem: &MckpProblem) -> muaa_knapsack::MckpSolution {
+    pub(crate) fn solve(&self, problem: &MckpProblem) -> muaa_knapsack::MckpSolution {
         match *self {
             MckpBackend::LpGreedy => MckpLpGreedy.solve(problem),
             MckpBackend::ExactDp => MckpExactDp.solve(problem),
@@ -102,6 +103,11 @@ impl Recon {
     pub fn backend(&self) -> MckpBackend {
         self.backend
     }
+
+    /// The configured violation-order seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
 }
 
 impl Default for Recon {
@@ -111,11 +117,19 @@ impl Default for Recon {
 }
 
 /// Mutable reconciliation state: per-vendor solutions with global
-/// (possibly capacity-violating) customer loads.
-struct ReconState<'c, 'a> {
-    ctx: &'c SolverContext<'a>,
+/// (possibly capacity-violating) customer loads, plus a per-customer
+/// pick index so phase 2 never rescans every vendor's solution.
+struct ReconState<'i, O> {
+    inst: &'i ProblemInstance,
+    oracle: &'i O,
     /// Instances per vendor: `(customer, ad type, λ)`.
     per_vendor: Vec<Vec<(CustomerId, AdTypeId, f64)>>,
+    /// Per customer: `(vendor, λ)` of every instance currently serving
+    /// them, ascending by vendor id. Each (vendor, customer) pair holds
+    /// at most one instance (one MCKP class per customer in phase 1;
+    /// refills guard on `vendor_has_pair`), so the vendor id is a
+    /// unique key within each row.
+    picks_of: Vec<Vec<(u32, f64)>>,
     /// Total ads currently assigned to each customer (may exceed a_i
     /// before reconciliation).
     load: Vec<u32>,
@@ -123,11 +137,30 @@ struct ReconState<'c, 'a> {
     spend: Vec<Money>,
 }
 
-impl<'c, 'a> ReconState<'c, 'a> {
+impl<'i, O: PairOracle> ReconState<'i, O> {
     fn vendor_has_pair(&self, vid: VendorId, cid: CustomerId) -> bool {
-        self.per_vendor[vid.index()]
-            .iter()
-            .any(|&(c, _, _)| c == cid)
+        self.picks_of[cid.index()]
+            .binary_search_by_key(&(vid.index() as u32), |&(j, _)| j)
+            .is_ok()
+    }
+
+    /// The vendor holding this customer's lowest-λ instance (Alg. 1
+    /// line 8's sort, realised as a min-scan over the customer's own
+    /// pick row — O(load) instead of the former O(vendors · picks)
+    /// rescan of every vendor solution).
+    #[cfg_attr(any(), muaa::hot)]
+    fn worst_vendor_for(&self, cid: CustomerId) -> Option<VendorId> {
+        let _hot = muaa_core::sanitize::AllocGuard::strict("recon.worst_vendor_for");
+        let mut worst: Option<(u32, f64)> = None;
+        // Ascending vendor order with a strict `<` keeps the first
+        // minimum — the same vendor the old full rescan chose, since
+        // that scan also visited vendors in ascending order.
+        for &(j, lambda) in &self.picks_of[cid.index()] {
+            if worst.is_none_or(|(_, wl)| lambda < wl) {
+                worst = Some((j, lambda));
+            }
+        }
+        worst.map(|(j, _)| VendorId::from(j as usize))
     }
 
     /// Remove the instance of `cid` with the lowest utility from vendor
@@ -137,7 +170,12 @@ impl<'c, 'a> ReconState<'c, 'a> {
         let list = &mut self.per_vendor[vid.index()];
         let pos = list.iter().position(|&(c, _, _)| c == cid)?;
         let (_, tid, _) = list.swap_remove(pos);
-        let cost = self.ctx.ad_type(tid).cost;
+        let picks = &mut self.picks_of[cid.index()];
+        let at = picks
+            .binary_search_by_key(&(vid.index() as u32), |&(j, _)| j)
+            .expect("pick index out of sync with vendor solutions");
+        picks.remove(at);
+        let cost = self.inst.ad_type(tid).cost;
         self.load[cid.index()] -= 1;
         self.spend[vid.index()] -= cost;
         Some(cost)
@@ -153,19 +191,19 @@ impl<'c, 'a> ReconState<'c, 'a> {
         // the vendor's pick list, which may grow.
         let _hot = muaa_core::sanitize::AllocGuard::counting("recon.refill");
         loop {
-            let remaining = self.ctx.vendor(vid).budget - self.spend[vid.index()];
-            if remaining < self.ctx.instance().min_ad_cost() {
+            let remaining = self.inst.vendor(vid).budget - self.spend[vid.index()];
+            if remaining < self.inst.min_ad_cost() {
                 return;
             }
             let mut best: Option<(CustomerId, AdTypeId, f64, f64)> = None;
             for &cid in valid_customers {
-                if self.load[cid.index()] >= self.ctx.customer(cid).capacity {
+                if self.load[cid.index()] >= self.inst.customer(cid).capacity {
                     continue;
                 }
                 if self.vendor_has_pair(vid, cid) {
                     continue;
                 }
-                if let Some((tid, lambda, gamma)) = self.ctx.best_ad_type(cid, vid, remaining) {
+                if let Some((tid, lambda, gamma)) = self.oracle.best_ad_type(cid, vid, remaining) {
                     if best.is_none_or(|(_, _, _, bg)| gamma > bg) {
                         best = Some((cid, tid, lambda, gamma));
                     }
@@ -177,117 +215,132 @@ impl<'c, 'a> ReconState<'c, 'a> {
             // Growing the pick list is the point of a refill; the
             // counting guard above tracks it. lint: allow(hot_alloc)
             self.per_vendor[vid.index()].push((cid, tid, lambda));
+            let picks = &mut self.picks_of[cid.index()];
+            let at = picks.partition_point(|&(j, _)| j < vid.index() as u32);
+            // The pick index mirrors the grow, staying vendor-sorted;
+            // the same counting guard covers it.
+            picks.insert(at, (vid.index() as u32, lambda));
             self.load[cid.index()] += 1;
-            self.spend[vid.index()] += self.ctx.ad_type(tid).cost;
+            self.spend[vid.index()] += self.inst.ad_type(tid).cost;
         }
     }
 }
 
+/// The full RECON pipeline over any [`PairOracle`]: phase-1 per-vendor
+/// MCKPs, phase-2 reconciliation, final materialisation. `Recon`
+/// delegates here with the [`SolverContext`] oracle; the sharded engine
+/// (`crate::shard`) reuses the identical body with its merged-view
+/// oracle, which is what makes sharded RECON byte-identical by
+/// construction.
+pub(crate) fn recon_assign<O: PairOracle>(
+    inst: &ProblemInstance,
+    oracle: &O,
+    backend: MckpBackend,
+    seed: u64,
+) -> AssignmentSet {
+    use std::cell::RefCell;
+    thread_local! {
+        static BASES: RefCell<Vec<f64>> = RefCell::new(Vec::new());
+    }
+    let n_vendors = inst.num_vendors();
+    let mut per_vendor: Vec<Vec<(CustomerId, AdTypeId, f64)>> = Vec::with_capacity(n_vendors);
+    let mut picks_of: Vec<Vec<(u32, f64)>> = vec![Vec::new(); inst.num_customers()];
+    let mut load = vec![0u32; inst.num_customers()];
+    let mut spend = vec![Money::ZERO; n_vendors];
+
+    // ---- Phase 1: single-vendor MCKPs (Alg. 1 lines 2–5). ----
+    // Each vendor's MCKP is independent, so the solves fan out in
+    // parallel; the load/spend bookkeeping is merged sequentially in
+    // vendor-id order, giving the same state as the sequential loop.
+    // Eligible customers come from the oracle's row (the CSR slice, or
+    // the sharded merge of it) and pair bases from one batched-kernel
+    // call into a thread-local scratch (DESIGN.md §11) — nothing
+    // per-vendor is allocated beyond the MCKP problem itself.
+    let phase1 = muaa_core::par::par_map(inst.vendors(), 1, |j, vendor| {
+        let vid = VendorId::from(j);
+        let valid = oracle.eligible(vid);
+        let mut problem = MckpProblem::new(vendor.budget.as_cents());
+        BASES.with(|scratch| {
+            let bases = &mut *scratch.borrow_mut();
+            oracle.bases_into(vid, valid, bases);
+            // Class order ↔ valid-customer order.
+            for &base in bases.iter() {
+                problem.add_class(
+                    inst.ad_types()
+                        .iter()
+                        .map(|t| MckpItem::new(t.cost.as_cents(), (base * t.effectiveness).max(0.0)))
+                        .collect(),
+                );
+            }
+            let solution = backend.solve(&problem);
+            let mut picked = Vec::new();
+            for (class, item) in solution.picks() {
+                let cid = valid[class];
+                let tid = AdTypeId::from(item);
+                let lambda = bases[class] * inst.ad_type(tid).effectiveness;
+                if lambda <= 0.0 {
+                    continue;
+                }
+                picked.push((cid, tid, lambda));
+            }
+            picked
+        })
+    });
+    for (j, picked) in phase1.into_iter().enumerate() {
+        for &(cid, tid, lambda) in &picked {
+            load[cid.index()] += 1;
+            spend[j] += inst.ad_type(tid).cost;
+            // Vendors arrive in ascending id order, so every pick row
+            // is born sorted by vendor id.
+            picks_of[cid.index()].push((j as u32, lambda));
+        }
+        per_vendor.push(picked);
+    }
+
+    // ---- Phase 2: reconcile violations (Alg. 1 lines 6–11). ----
+    let mut violated: Vec<CustomerId> = inst
+        .customers_enumerated()
+        .filter(|&(cid, c)| load[cid.index()] > c.capacity)
+        .map(|(cid, _)| cid)
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    violated.shuffle(&mut rng);
+
+    let mut state = ReconState {
+        inst,
+        oracle,
+        per_vendor,
+        picks_of,
+        load,
+        spend,
+    };
+    for cid in violated {
+        let capacity = inst.customer(cid).capacity;
+        while state.load[cid.index()] > capacity {
+            let Some(vid) = state.worst_vendor_for(cid) else {
+                break;
+            };
+            state.remove_lowest_for(vid, cid);
+            // Line 11: the freed vendor re-assigns greedily, over the
+            // same eligibility row phase 1 used.
+            state.refill(vid, oracle.eligible(vid));
+        }
+    }
+
+    // ---- Materialise the union set (line 12). ----
+    let mut set = AssignmentSet::new(inst);
+    for (j, list) in state.per_vendor.iter().enumerate() {
+        for &(cid, tid, _) in list {
+            let ok = set.try_push(inst, Assignment::new(cid, VendorId::from(j), tid));
+            debug_assert!(ok, "reconciled solution must be feasible");
+        }
+    }
+    set
+}
+
 impl OfflineSolver for Recon {
     fn assign(&self, ctx: &SolverContext<'_>) -> muaa_core::AssignmentSet {
-        use std::cell::RefCell;
-        thread_local! {
-            static BASES: RefCell<Vec<f64>> = RefCell::new(Vec::new());
-        }
-        let inst = ctx.instance();
-        let n_vendors = inst.num_vendors();
-        let mut per_vendor: Vec<Vec<(CustomerId, AdTypeId, f64)>> = Vec::with_capacity(n_vendors);
-        let mut load = vec![0u32; inst.num_customers()];
-        let mut spend = vec![Money::ZERO; n_vendors];
-
-        // ---- Phase 1: single-vendor MCKPs (Alg. 1 lines 2–5). ----
-        // Each vendor's MCKP is independent, so the solves fan out in
-        // parallel; the load/spend bookkeeping is merged sequentially in
-        // vendor-id order, giving the same state as the sequential loop.
-        // Eligible customers come from the precomputed CSR slice and pair
-        // bases from one batched-kernel call into a thread-local scratch
-        // (DESIGN.md §11) — nothing per-vendor is allocated beyond the
-        // MCKP problem itself.
-        let phase1 = muaa_core::par::par_map(inst.vendors(), 1, |j, vendor| {
-            let vid = VendorId::from(j);
-            let valid = ctx.eligible_customers(vid);
-            let mut problem = MckpProblem::new(vendor.budget.as_cents());
-            BASES.with(|scratch| {
-                let bases = &mut *scratch.borrow_mut();
-                ctx.pair_base_block(vid, valid, bases);
-                // Class order ↔ valid-customer order.
-                for &base in bases.iter() {
-                    problem.add_class(
-                        inst.ad_types()
-                            .iter()
-                            .map(|t| {
-                                MckpItem::new(t.cost.as_cents(), (base * t.effectiveness).max(0.0))
-                            })
-                            .collect(),
-                    );
-                }
-                let solution = self.backend.solve(&problem);
-                let mut picked = Vec::new();
-                for (class, item) in solution.picks() {
-                    let cid = valid[class];
-                    let tid = AdTypeId::from(item);
-                    let lambda = bases[class] * inst.ad_type(tid).effectiveness;
-                    if lambda <= 0.0 {
-                        continue;
-                    }
-                    picked.push((cid, tid, lambda));
-                }
-                picked
-            })
-        });
-        for (j, picked) in phase1.into_iter().enumerate() {
-            for &(cid, tid, _) in &picked {
-                load[cid.index()] += 1;
-                spend[j] += inst.ad_type(tid).cost;
-            }
-            per_vendor.push(picked);
-        }
-
-        // ---- Phase 2: reconcile violations (Alg. 1 lines 6–11). ----
-        let mut violated: Vec<CustomerId> = inst
-            .customers_enumerated()
-            .filter(|&(cid, c)| load[cid.index()] > c.capacity)
-            .map(|(cid, _)| cid)
-            .collect();
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        violated.shuffle(&mut rng);
-
-        let mut state = ReconState {
-            ctx,
-            per_vendor,
-            load,
-            spend,
-        };
-        for cid in violated {
-            let capacity = ctx.customer(cid).capacity;
-            while state.load[cid.index()] > capacity {
-                // Find this customer's lowest-utility instance across
-                // all vendors (line 8's sort, realised as a min-scan).
-                let mut worst: Option<(VendorId, f64)> = None;
-                for (j, list) in state.per_vendor.iter().enumerate() {
-                    for &(c, _, lambda) in list {
-                        if c == cid && worst.is_none_or(|(_, wl)| lambda < wl) {
-                            worst = Some((VendorId::from(j), lambda));
-                        }
-                    }
-                }
-                let Some((vid, _)) = worst else { break };
-                state.remove_lowest_for(vid, cid);
-                // Line 11: the freed vendor re-assigns greedily, over
-                // the same CSR eligibility slice phase 1 used.
-                state.refill(vid, ctx.eligible_customers(vid));
-            }
-        }
-
-        // ---- Materialise the union set (line 12). ----
-        let mut set = muaa_core::AssignmentSet::new(inst);
-        for (j, list) in state.per_vendor.iter().enumerate() {
-            for &(cid, tid, _) in list {
-                let ok = set.try_push(inst, Assignment::new(cid, VendorId::from(j), tid));
-                debug_assert!(ok, "reconciled solution must be feasible");
-            }
-        }
-        set
+        recon_assign(ctx.instance(), ctx, self.backend, self.seed)
     }
 
     fn name(&self) -> &'static str {

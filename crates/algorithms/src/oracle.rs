@@ -1,0 +1,68 @@
+//! The candidate oracle abstraction behind the offline solvers.
+//!
+//! GREEDY, RECON and BATCHED-RECON consume the candidate substrate
+//! through exactly three queries: a vendor's eligible-customer row (in
+//! canonical ascending-id order), the pair bases for a slice of that
+//! row, and the best affordable ad type of a pair. [`PairOracle`]
+//! names that surface so the solver bodies can be written once and run
+//! against either backing store:
+//!
+//! * [`SolverContext`] — the unsharded CSR + pair-cache substrate;
+//! * `MergedView` (in [`crate::shard`]) — the deterministic merge of
+//!   per-tile shard rows.
+//!
+//! Because the sharded and unsharded paths share the *same* solver
+//! bodies, byte-identity of sharded output reduces to byte-identity of
+//! the three oracle answers — which DESIGN.md §15 proves row by row.
+
+use crate::context::SolverContext;
+use muaa_core::{AdTypeId, CustomerId, Money, VendorId};
+
+/// The three candidate queries every offline solver is built from.
+///
+/// Contract (what the shared solver bodies assume):
+/// * `eligible` returns the vendor's valid customers sorted strictly
+///   ascending by id — the canonical CSR row order;
+/// * `bases_into` writes one pair base per input id (clearing `out`
+///   first), bit-identical for identical `(customer, vendor)` pairs no
+///   matter which oracle answers;
+/// * `best_ad_type` matches
+///   [`SolverContext::best_ad_type`]'s selection rule exactly
+///   (efficiency-maximal affordable type, strict `>` upgrades).
+pub(crate) trait PairOracle: Sync {
+    /// The vendor's eligible customers, ascending by id.
+    fn eligible(&self, vid: VendorId) -> &[CustomerId];
+
+    /// Pair bases for `cids` (each eligible for `vid`) into `out`.
+    fn bases_into(&self, vid: VendorId, cids: &[CustomerId], out: &mut Vec<f64>);
+
+    /// Best affordable ad type of the pair: `(ad type, λ, γ)`.
+    fn best_ad_type(
+        &self,
+        cid: CustomerId,
+        vid: VendorId,
+        remaining: Money,
+    ) -> Option<(AdTypeId, f64, f64)>;
+}
+
+impl PairOracle for SolverContext<'_> {
+    #[inline]
+    fn eligible(&self, vid: VendorId) -> &[CustomerId] {
+        self.eligible_customers(vid)
+    }
+
+    #[inline]
+    fn bases_into(&self, vid: VendorId, cids: &[CustomerId], out: &mut Vec<f64>) {
+        self.pair_base_block(vid, cids, out);
+    }
+
+    #[inline]
+    fn best_ad_type(
+        &self,
+        cid: CustomerId,
+        vid: VendorId,
+        remaining: Money,
+    ) -> Option<(AdTypeId, f64, f64)> {
+        SolverContext::best_ad_type(self, cid, vid, remaining)
+    }
+}

@@ -1,0 +1,261 @@
+//! Property tests for the tile-sharded engine (DESIGN.md §15): at any
+//! tile count, [`muaa_algorithms::ShardedContext`] must be
+//! observationally identical to the unsharded [`SolverContext`] — the
+//! merged eligibility rows equal the global CSR rows element for
+//! element with bit-identical pair bases (0 ULP), every offline solver
+//! returns byte-identical assignments, and an arbitrary routed delta
+//! sequence leaves the engine indistinguishable from one rebuilt from
+//! scratch on the post-delta instance.
+
+use muaa_algorithms::{
+    BatchedRecon, Greedy, OfflineSolver, Recon, ShardedContext, SolverContext,
+};
+use muaa_core::{
+    ActivityProfile, AdType, AdTypeId, AssignmentSet, Customer, CustomerId, Delta, DeltaBatch,
+    InstanceBuilder, Money, PearsonUtility, Point, ProblemInstance, TagVector, Timestamp, Vendor,
+    VendorId,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const TAGS: usize = 4;
+
+/// A non-uniform activity profile so time-dependent moments are
+/// exercised, not the degenerate all-ones case.
+fn diurnal_profile() -> ActivityProfile {
+    let curves: Vec<Vec<f64>> = (0..TAGS)
+        .map(|t| {
+            (0..24)
+                .map(|h| {
+                    let phase = (h + 6 * t) % 24;
+                    0.1 + 0.8 * (phase as f64 / 23.0)
+                })
+                .collect()
+        })
+        .collect();
+    ActivityProfile::from_hourly(&curves).expect("valid curves")
+}
+
+fn customer_strategy() -> impl Strategy<Value = Customer> {
+    (
+        (0.0..1.0f64, 0.0..1.0f64),
+        1..4u32,
+        0.0..1.0f64,
+        proptest::collection::vec(0.0..1.0f64, TAGS),
+        0.0..24.0f64,
+    )
+        .prop_map(|((x, y), capacity, p, interests, hour)| Customer {
+            location: Point::new(x, y),
+            capacity,
+            view_probability: p,
+            interests: TagVector::new(interests).expect("valid"),
+            arrival: Timestamp::from_hours(hour),
+        })
+}
+
+fn instance_strategy() -> impl Strategy<Value = ProblemInstance> {
+    let vendor = (
+        (0.0..1.0f64, 0.0..1.0f64),
+        0.0..1.5f64,
+        0u64..700,
+        proptest::collection::vec(0.0..1.0f64, TAGS),
+    )
+        .prop_map(|((x, y), radius, budget, tags)| Vendor {
+            location: Point::new(x, y),
+            radius,
+            budget: Money::from_cents(budget),
+            tags: TagVector::new(tags).expect("valid"),
+        });
+    (
+        proptest::collection::vec(customer_strategy(), 0..16),
+        proptest::collection::vec(vendor, 1..6),
+    )
+        .prop_map(|(customers, vendors)| {
+            InstanceBuilder::new()
+                .customers(customers)
+                .vendors(vendors)
+                .ad_types([
+                    AdType::new("TL", Money::from_cents(100), 0.1),
+                    AdType::new("PL", Money::from_cents(200), 0.4),
+                ])
+                .build()
+                .expect("valid instance")
+        })
+}
+
+/// Abstract delta operations, resolved modulo the live population at
+/// application time (same scheme as the delta_equivalence suite).
+#[derive(Clone, Debug)]
+enum DeltaSpec {
+    Add(Customer),
+    Remove(usize),
+    Move(usize, f64, f64),
+    Budget(usize, u64),
+    Radius(usize, f64),
+    Reprice(usize, u64, f64),
+}
+
+fn spec_strategy() -> impl Strategy<Value = DeltaSpec> {
+    prop_oneof![
+        customer_strategy().prop_map(DeltaSpec::Add),
+        (0usize..32).prop_map(DeltaSpec::Remove),
+        (0usize..32, 0.0..1.0f64, 0.0..1.0f64).prop_map(|(i, x, y)| DeltaSpec::Move(i, x, y)),
+        (0usize..32, 0u64..700).prop_map(|(j, b)| DeltaSpec::Budget(j, b)),
+        (0usize..32, 0.0..1.5f64).prop_map(|(j, r)| DeltaSpec::Radius(j, r)),
+        (0usize..2, 1u64..500, 0.05..0.95f64).prop_map(|(k, c, f)| DeltaSpec::Reprice(k, c, f)),
+    ]
+}
+
+fn resolve(specs: &[DeltaSpec], instance: &ProblemInstance) -> DeltaBatch {
+    let mut batch = DeltaBatch::new();
+    let mut n = instance.num_customers();
+    let vendors = instance.num_vendors();
+    for spec in specs {
+        match spec {
+            DeltaSpec::Add(c) => {
+                batch.push(Delta::AddCustomer(c.clone()));
+                n += 1;
+            }
+            DeltaSpec::Remove(i) => {
+                if n > 0 {
+                    batch.push(Delta::RemoveCustomer(CustomerId::from(i % n)));
+                    n -= 1;
+                }
+            }
+            DeltaSpec::Move(i, x, y) => {
+                if n > 0 {
+                    batch.push(Delta::MoveCustomer(
+                        CustomerId::from(i % n),
+                        Point::new(*x, *y),
+                    ));
+                }
+            }
+            DeltaSpec::Budget(j, cents) => {
+                batch.push(Delta::VendorBudget(
+                    VendorId::from(j % vendors),
+                    Money::from_cents(*cents),
+                ));
+            }
+            DeltaSpec::Radius(j, r) => {
+                batch.push(Delta::VendorRadius(VendorId::from(j % vendors), *r));
+            }
+            DeltaSpec::Reprice(k, cents, factor) => {
+                batch.push(Delta::AdType(
+                    AdTypeId::from(*k),
+                    AdType::new("RP", Money::from_cents(*cents), *factor),
+                ));
+            }
+        }
+    }
+    batch
+}
+
+/// Assert two assignment sets are byte-identical (ids and utility bits)
+/// with per-vendor budget remainders intact.
+fn assert_identical(
+    a: &AssignmentSet,
+    b: &AssignmentSet,
+    inst: &ProblemInstance,
+    model: &PearsonUtility,
+    what: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.assignments(), b.assignments(), "{}: assignments", what);
+    prop_assert_eq!(
+        a.total_utility(inst, model).to_bits(),
+        b.total_utility(inst, model).to_bits(),
+        "{}: utility bits",
+        what
+    );
+    for (vid, _) in inst.vendors_enumerated() {
+        prop_assert_eq!(
+            a.vendor_spend(vid),
+            b.vendor_spend(vid),
+            "{}: spend of {}",
+            what,
+            vid
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every offline solver is byte-identical sharded vs unsharded at
+    /// any tile count.
+    #[test]
+    fn sharded_solvers_match_unsharded(
+        instance in instance_strategy(),
+        tiles in 1usize..40,
+    ) {
+        let model = PearsonUtility::new(diurnal_profile());
+        let ctx = SolverContext::indexed(&instance, &model);
+        let mut sharded = ShardedContext::new(&instance, &model, tiles);
+        sharded.debug_validate();
+        assert_identical(
+            &sharded.greedy(),
+            &Greedy.assign(&ctx),
+            &instance,
+            &model,
+            "greedy",
+        )?;
+        assert_identical(
+            &sharded.recon(&Recon::new()),
+            &Recon::new().assign(&ctx),
+            &instance,
+            &model,
+            "recon",
+        )?;
+        assert_identical(
+            &sharded.batched_recon(&BatchedRecon::new(3)),
+            &BatchedRecon::new(3).assign(&ctx),
+            &instance,
+            &model,
+            "batched",
+        )?;
+    }
+
+    /// A delta-routed engine is indistinguishable from a fresh engine
+    /// over the post-delta instance AND from the unsharded solver —
+    /// both structurally (debug_validate) and observationally.
+    #[test]
+    fn routed_deltas_match_fresh_rebuild(
+        instance in instance_strategy(),
+        tiles in 1usize..40,
+        specs in proptest::collection::vec(spec_strategy(), 0..12),
+    ) {
+        let model = PearsonUtility::new(diurnal_profile());
+        let batch = resolve(&specs, &instance);
+        let mut routed = ShardedContext::new(&instance, &model, tiles);
+        routed.apply_delta(&batch).expect("resolved deltas are valid");
+        routed.debug_validate();
+
+        let mut shadow = instance.clone();
+        shadow.apply_delta(&batch).expect("resolved deltas are valid");
+        let mut fresh = ShardedContext::new(&shadow, &model, tiles);
+        fresh.debug_validate();
+        let ctx = SolverContext::indexed(&shadow, &model);
+
+        assert_identical(
+            &routed.greedy(),
+            &Greedy.assign(&ctx),
+            &shadow,
+            &model,
+            "routed greedy vs unsharded",
+        )?;
+        assert_identical(
+            &fresh.greedy(),
+            &Greedy.assign(&ctx),
+            &shadow,
+            &model,
+            "fresh greedy vs unsharded",
+        )?;
+        assert_identical(
+            &routed.recon(&Recon::new()),
+            &fresh.recon(&Recon::new()),
+            &shadow,
+            &model,
+            "routed vs fresh recon",
+        )?;
+    }
+}

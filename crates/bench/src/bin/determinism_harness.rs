@@ -18,13 +18,29 @@
 //! thread counts are pinned with [`par::with_threads`], so the harness
 //! is meaningful even on single-core runners.
 
-use muaa_algorithms::{BatchedRecon, Greedy, OfflineSolver, Recon, SolverContext};
+use muaa_algorithms::{BatchedRecon, Greedy, OfflineSolver, Recon, ShardedContext, SolverContext};
 use muaa_core::par;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-/// Byte fingerprint of a solver run: each assignment's ids in commit
-/// order, then the total utility as raw bits.
+/// Byte fingerprint of an assignment set: each assignment's ids in
+/// commit order, then the total utility as raw bits.
+fn set_fingerprint(
+    set: &muaa_core::AssignmentSet,
+    inst: &muaa_core::ProblemInstance,
+    model: &dyn muaa_core::UtilityModel,
+) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(set.len() * 12 + 8);
+    for a in set.assignments() {
+        bytes.extend_from_slice(&(a.customer.index() as u32).to_le_bytes());
+        bytes.extend_from_slice(&(a.vendor.index() as u32).to_le_bytes());
+        bytes.extend_from_slice(&(a.ad_type.index() as u32).to_le_bytes());
+    }
+    bytes.extend_from_slice(&set.total_utility(inst, model).to_bits().to_le_bytes());
+    bytes
+}
+
+/// Byte fingerprint of a solver run via the [`OfflineSolver`] surface.
 fn fingerprint(solver: &dyn OfflineSolver, ctx: &SolverContext<'_>) -> Vec<u8> {
     let outcome = solver.run(ctx);
     let mut bytes = Vec::with_capacity(outcome.assignments.len() * 12 + 8);
@@ -96,9 +112,55 @@ fn main() {
         }
     }
 
+    // Tile-sharded engine (DESIGN.md §15): each sharded solver must be
+    // byte-identical to its *unsharded* 1-thread baseline at every
+    // thread count — the engine's headline claim, checked end to end.
+    const TILES: usize = 25;
+    let inst = &fixture.instance;
+    let model = &fixture.model;
+    let sharded_runs: [(&str, fn(&mut ShardedContext) -> muaa_core::AssignmentSet); 3] = [
+        ("SHARDED-GREEDY", |e| e.greedy()),
+        ("SHARDED-RECON", |e| e.recon(&Recon::new())),
+        ("SHARDED-BATCHED(8)", |e| e.batched_recon(&BatchedRecon::new(8))),
+    ];
+    let baselines: [&dyn OfflineSolver; 3] = [&Greedy, &Recon::new(), &BatchedRecon::new(8)];
+    for ((name, run), solver) in sharded_runs.into_iter().zip(baselines) {
+        let baseline = par::with_threads(1, || fingerprint(solver, &ctx));
+        for &threads in &THREAD_COUNTS {
+            let got = par::with_threads(threads, || {
+                let mut engine = ShardedContext::new(inst, model, TILES);
+                let set = run(&mut engine);
+                set_fingerprint(&set, inst, model)
+            });
+            if got == baseline {
+                println!(
+                    "ok   {name}: {threads} thread(s), {TILES} tiles, \
+                     byte-identical to unsharded ({} bytes)",
+                    got.len()
+                );
+            } else {
+                let first = baseline
+                    .iter()
+                    .zip(&got)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(baseline.len().min(got.len()));
+                println!(
+                    "FAIL {name}: {threads} thread(s), {TILES} tiles, diverges \
+                     from unsharded at byte {first} (lens {} vs {})",
+                    baseline.len(),
+                    got.len()
+                );
+                failures += 1;
+            }
+        }
+    }
+
     if failures > 0 {
         println!("determinism_harness: {failures} divergent run(s)");
         std::process::exit(1);
     }
-    println!("determinism_harness: all solvers byte-identical at {THREAD_COUNTS:?} threads");
+    println!(
+        "determinism_harness: all solvers (sharded and unsharded) \
+         byte-identical at {THREAD_COUNTS:?} threads"
+    );
 }

@@ -15,7 +15,10 @@
 //! This library exposes the shared fixtures those benches use.
 
 use muaa_core::{PearsonUtility, ProblemInstance};
-use muaa_datagen::{generate_synthetic, FoursquareConfig, FoursquareSim, Range, SyntheticConfig};
+use muaa_datagen::{
+    generate_streamed, generate_synthetic, FoursquareConfig, FoursquareSim, Range, StreamConfig,
+    SyntheticConfig,
+};
 
 /// A bench fixture: instance + matching utility model.
 pub struct Fixture {
@@ -53,6 +56,20 @@ pub fn synthetic_fixture(customers: usize, vendors: usize, budget: (f64, f64)) -
     }
 }
 
+/// A scale-out fixture from the constant-memory streaming generator
+/// (DESIGN.md §15) — the workload of the sharding benchmarks. The
+/// downsizing rule keeps the expected per-disc customer population of
+/// the full 1M × 10k fixture, so solver behaviour stays comparable
+/// across sizes.
+pub fn streamed_fixture(customers: usize, vendors: usize) -> Fixture {
+    let cfg = StreamConfig::downsized(customers, vendors);
+    let tags = cfg.tags;
+    Fixture {
+        instance: generate_streamed(&cfg),
+        model: PearsonUtility::uniform(tags),
+    }
+}
+
 /// A Foursquare-sim fixture for the "real data" figures.
 pub fn foursquare_fixture(checkins: usize, venues: usize, budget: (f64, f64)) -> Fixture {
     let sim = FoursquareSim::generate(&FoursquareConfig {
@@ -79,5 +96,8 @@ mod tests {
         assert_eq!(f.instance.num_customers(), 200);
         let f = foursquare_fixture(300, 30, (5.0, 10.0));
         assert_eq!(f.instance.num_customers(), 300);
+        let f = streamed_fixture(400, 8);
+        assert_eq!(f.instance.num_customers(), 400);
+        assert_eq!(f.instance.num_vendors(), 8);
     }
 }

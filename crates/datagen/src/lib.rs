@@ -19,6 +19,10 @@
 //!   AdWords-statistics-like triple.
 //! * [`dist`] — the truncated-Gaussian and Zipf samplers the above are
 //!   built on.
+//! * [`StreamConfig`] / [`generate_streamed`] — the constant-memory
+//!   streaming generator behind the million-customer sharding fixtures
+//!   (DESIGN.md §15): records are randomly addressable, use no `rand`
+//!   and no libm, and their first bits are pinned by smoke tests.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -27,8 +31,10 @@ pub mod activity_estimation;
 pub mod adtypes;
 pub mod dist;
 pub mod foursquare;
+pub mod stream;
 pub mod synthetic;
 
 pub use activity_estimation::{estimate_activity, ActivityEstimation};
 pub use foursquare::{FoursquareConfig, FoursquareSim};
+pub use stream::{generate_streamed, SplitMix64, StreamConfig};
 pub use synthetic::{generate_synthetic, Range, SyntheticConfig};
