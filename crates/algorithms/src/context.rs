@@ -776,6 +776,13 @@ impl<'a> SolverContext<'a> {
             out.extend(cids.iter().map(|&cid| self.pair_base_uncached(cid, vid)));
             return;
         };
+        // Batched variant: resolve the moment-kernel table once for the
+        // whole vendor block instead of per pair. `kernels()` is an
+        // atomic load after first use, but hoisting it keeps the inner
+        // loop branch-free and matches DESIGN.md §16's multi-vendor
+        // kernel shape. Bit-identity with the per-pair path is trivial:
+        // the same `Kernels` table is passed through.
+        let kernels = muaa_core::simd::kernels();
         match &cache.memo {
             Some(memo) => {
                 let col = vid.index();
@@ -785,7 +792,7 @@ impl<'a> SolverContext<'a> {
                     let base = if bits != MEMO_EMPTY {
                         f64::from_bits(bits)
                     } else {
-                        let b = self.pair_base_fused(cache, cid, vid);
+                        let b = self.pair_base_fused_with(kernels, cache, cid, vid);
                         slot.store(b.to_bits(), Ordering::Relaxed);
                         b
                     };
@@ -794,7 +801,10 @@ impl<'a> SolverContext<'a> {
                     out.push(base);
                 }
             }
-            None => out.extend(cids.iter().map(|&cid| self.pair_base_fused(cache, cid, vid))),
+            None => out.extend(
+                cids.iter()
+                    .map(|&cid| self.pair_base_fused_with(kernels, cache, cid, vid)),
+            ),
         }
     }
 
@@ -805,6 +815,20 @@ impl<'a> SolverContext<'a> {
     /// model (see `PearsonUtility::similarity_from_parts`).
     #[cfg_attr(any(), muaa::hot)]
     fn pair_base_fused(&self, cache: &PairCache, cid: CustomerId, vid: VendorId) -> f64 {
+        self.pair_base_fused_with(muaa_core::simd::kernels(), cache, cid, vid)
+    }
+
+    /// [`pair_base_fused`](Self::pair_base_fused) with the moment-kernel
+    /// table already resolved — the block kernel hoists the dispatch out
+    /// of its per-customer loop and calls this directly.
+    #[cfg_attr(any(), muaa::hot)]
+    fn pair_base_fused_with(
+        &self,
+        kernels: &muaa_core::simd::Kernels,
+        cache: &PairCache,
+        cid: CustomerId,
+        vid: VendorId,
+    ) -> f64 {
         let _hot = muaa_core::sanitize::AllocGuard::strict("context.pair_base_fused");
         let pearson = self
             .pearson
@@ -819,7 +843,8 @@ impl<'a> SolverContext<'a> {
         }
         let i = cid.index();
         let row = &cache.weights[i * cache.tags..(i + 1) * cache.tags];
-        let s = PearsonUtility::similarity_from_parts(
+        let s = PearsonUtility::similarity_from_parts_with(
+            kernels,
             row,
             c.interests.as_slice(),
             cache.sw[i],

@@ -1,0 +1,172 @@
+//! SIMD dispatch equivalence (DESIGN.md §16): with or without the
+//! vector kernels, every pair base and every solver output must be
+//! byte-identical. The canonical 4-lane schedule pins the FP order, so
+//! `--features simd` may only change speed — never a single bit.
+//!
+//! This file is its own test binary on purpose: the forced-scalar
+//! switch is process-wide, and keeping every toggle inside one `#[test]`
+//! serializes it away from the rest of the suite.
+//!
+//! Tag widths range over 0..=64 — covering the empty vector, widths
+//! below one lane chunk, exact multiples of the 4-lane chunk, and every
+//! ragged tail in between.
+
+use muaa_algorithms::{BatchedRecon, Greedy, OfflineSolver, Recon, ShardedContext, SolverContext};
+use muaa_core::{
+    par, simd, ActivityProfile, AdType, Customer, InstanceBuilder, Money, PearsonUtility, Point,
+    ProblemInstance, TagVector, Timestamp, Vendor,
+};
+use proptest::prelude::*;
+
+/// A non-uniform activity profile over `tags` interest dimensions.
+fn diurnal_profile(tags: usize) -> ActivityProfile {
+    let curves: Vec<Vec<f64>> = (0..tags)
+        .map(|t| {
+            (0..24)
+                .map(|h| {
+                    let phase = (h + 5 * t) % 24;
+                    0.1 + 0.8 * (phase as f64 / 23.0)
+                })
+                .collect()
+        })
+        .collect();
+    ActivityProfile::from_hourly(&curves).expect("valid curves")
+}
+
+/// Instances with a *strategy-chosen* tag width 0..=64, so the kernels
+/// see every chunk/tail split the 4-lane schedule distinguishes.
+fn ragged_instance_strategy() -> impl Strategy<Value = (usize, ProblemInstance)> {
+    (0usize..=64).prop_flat_map(|tags| {
+        let customer = (
+            (0.0..1.0f64, 0.0..1.0f64),
+            1..4u32,
+            0.0..1.0f64,
+            proptest::collection::vec(0.0..1.0f64, tags),
+            0.0..24.0f64,
+        )
+            .prop_map(|((x, y), capacity, p, interests, hour)| Customer {
+                location: Point::new(x, y),
+                capacity,
+                view_probability: p,
+                interests: TagVector::new(interests).expect("valid"),
+                arrival: Timestamp::from_hours(hour),
+            });
+        let vendor = (
+            (0.0..1.0f64, 0.0..1.0f64),
+            0.0..1.5f64,
+            0u64..700,
+            proptest::collection::vec(0.0..1.0f64, tags),
+        )
+            .prop_map(|((x, y), radius, budget, vtags)| Vendor {
+                location: Point::new(x, y),
+                radius,
+                budget: Money::from_cents(budget),
+                tags: TagVector::new(vtags).expect("valid"),
+            });
+        (
+            proptest::collection::vec(customer, 1..8),
+            proptest::collection::vec(vendor, 1..5),
+        )
+            .prop_map(move |(customers, vendors)| {
+                let instance = InstanceBuilder::new()
+                    .customers(customers)
+                    .vendors(vendors)
+                    .ad_types([
+                        AdType::new("TL", Money::from_cents(100), 0.1),
+                        AdType::new("PL", Money::from_cents(200), 0.4),
+                    ])
+                    .build()
+                    .expect("valid instance");
+                (tags, instance)
+            })
+    })
+}
+
+/// Raw bits of every pair base out of a *fresh* context (no memo
+/// laundering between the two runs under comparison).
+fn pair_base_bits(instance: &ProblemInstance, model: &PearsonUtility) -> Vec<u64> {
+    let ctx = SolverContext::indexed(instance, model);
+    let mut bits = Vec::new();
+    for (cid, _) in instance.customers_enumerated() {
+        for (vid, _) in instance.vendors_enumerated() {
+            bits.push(ctx.pair_base(cid, vid).to_bits());
+        }
+    }
+    bits
+}
+
+/// Byte fingerprint of one solver run on a fresh context.
+fn solver_bits(instance: &ProblemInstance, model: &PearsonUtility, s: &dyn OfflineSolver) -> Vec<u64> {
+    let ctx = SolverContext::indexed(instance, model);
+    let outcome = s.run(&ctx);
+    let mut bits: Vec<u64> = outcome
+        .assignments
+        .assignments()
+        .iter()
+        .map(|a| {
+            ((a.customer.index() as u64) << 40)
+                | ((a.vendor.index() as u64) << 20)
+                | a.ad_type.index() as u64
+        })
+        .collect();
+    bits.push(outcome.total_utility.to_bits());
+    bits
+}
+
+/// Same fingerprint through the tile-sharded engine.
+fn sharded_bits(instance: &ProblemInstance, model: &PearsonUtility, which: usize) -> Vec<u64> {
+    let mut engine = ShardedContext::new(instance, model, 4);
+    let set = match which {
+        0 => engine.greedy(),
+        1 => engine.recon(&Recon::new()),
+        _ => engine.batched_recon(&BatchedRecon::new(3)),
+    };
+    let mut bits: Vec<u64> = set
+        .assignments()
+        .iter()
+        .map(|a| {
+            ((a.customer.index() as u64) << 40)
+                | ((a.vendor.index() as u64) << 20)
+                | a.ad_type.index() as u64
+        })
+        .collect();
+    bits.push(set.total_utility(instance, model).to_bits());
+    bits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One test on purpose (see module docs): pair bases, the three
+    /// solvers, and the sharded engine all byte-diff dispatched (4
+    /// threads) against forced-scalar (sequential) — crossing the simd
+    /// axis with the threading axis in the same assertion.
+    #[test]
+    fn dispatch_is_bitwise_invisible_at_every_ragged_width(
+        (tags, instance) in ragged_instance_strategy(),
+    ) {
+        let model = PearsonUtility::new(diurnal_profile(tags));
+
+        let pairs_on = par::with_threads(4, || pair_base_bits(&instance, &model));
+        let pairs_off = simd::with_forced_scalar(|| {
+            par::with_sequential(|| pair_base_bits(&instance, &model))
+        });
+        prop_assert_eq!(pairs_on, pairs_off, "pair bases diverged at width {}", tags);
+
+        let solvers: [&dyn OfflineSolver; 3] =
+            [&Greedy, &Recon::new(), &BatchedRecon::new(3)];
+        for (i, solver) in solvers.iter().enumerate() {
+            let on = par::with_threads(4, || solver_bits(&instance, &model, *solver));
+            let off = simd::with_forced_scalar(|| {
+                par::with_sequential(|| solver_bits(&instance, &model, *solver))
+            });
+            prop_assert_eq!(on, off, "{} diverged at width {}", solver.name(), tags);
+
+            let sh_on = par::with_threads(4, || sharded_bits(&instance, &model, i));
+            let sh_off = simd::with_forced_scalar(|| {
+                par::with_sequential(|| sharded_bits(&instance, &model, i))
+            });
+            prop_assert_eq!(sh_on, sh_off, "sharded {} diverged at width {}", solver.name(), tags);
+        }
+    }
+}

@@ -17,6 +17,14 @@
 //! thread counts, 1 otherwise. CI runs this in the sanitize job; the
 //! thread counts are pinned with [`par::with_threads`], so the harness
 //! is meaningful even on single-core runners.
+//!
+//! The harness also byte-diffs SIMD dispatch (DESIGN.md §16): every
+//! solver re-runs under [`muaa_core::simd::with_forced_scalar`] at each
+//! thread count, sharded and unsharded, and must match the dispatched
+//! baseline exactly. In a `--features simd` build on an AVX2/NEON host
+//! this proves the vector kernels are bit-identical to the canonical
+//! scalar schedule end to end; elsewhere both runs resolve to the
+//! scalar kernel and the check is a (still honest) no-op.
 
 use muaa_algorithms::{BatchedRecon, Greedy, OfflineSolver, Recon, ShardedContext, SolverContext};
 use muaa_core::par;
@@ -155,12 +163,88 @@ fn main() {
         }
     }
 
+    // SIMD dispatch (DESIGN.md §16): forced-scalar runs must be
+    // byte-identical to whatever the runtime dispatcher picked, for
+    // every solver, thread count, and sharding mode. Fresh contexts per
+    // run — a shared memo would launder one kernel's values into the
+    // other run's answers and mask a divergence.
+    let dispatched = muaa_core::simd::kernels().name;
+    for (name, solver) in solvers {
+        for &threads in &THREAD_COUNTS {
+            let on = par::with_threads(threads, || {
+                let ctx = SolverContext::indexed(inst, model);
+                fingerprint(solver, &ctx)
+            });
+            let off = muaa_core::simd::with_forced_scalar(|| {
+                par::with_threads(threads, || {
+                    let ctx = SolverContext::indexed(inst, model);
+                    fingerprint(solver, &ctx)
+                })
+            });
+            if on == off {
+                println!(
+                    "ok   {name}: {threads} thread(s), {dispatched} kernel \
+                     byte-identical to forced scalar ({} bytes)",
+                    on.len()
+                );
+            } else {
+                let first = on
+                    .iter()
+                    .zip(&off)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(on.len().min(off.len()));
+                println!(
+                    "FAIL {name}: {threads} thread(s), {dispatched} kernel \
+                     diverges from forced scalar at byte {first} \
+                     (lens {} vs {})",
+                    on.len(),
+                    off.len()
+                );
+                failures += 1;
+            }
+        }
+    }
+    for ((name, run), solver) in sharded_runs.into_iter().zip(baselines) {
+        let baseline = par::with_threads(1, || fingerprint(solver, &ctx));
+        for &threads in &THREAD_COUNTS {
+            let off = muaa_core::simd::with_forced_scalar(|| {
+                par::with_threads(threads, || {
+                    let mut engine = ShardedContext::new(inst, model, TILES);
+                    let set = run(&mut engine);
+                    set_fingerprint(&set, inst, model)
+                })
+            });
+            if off == baseline {
+                println!(
+                    "ok   {name}: {threads} thread(s), {TILES} tiles, forced \
+                     scalar byte-identical to dispatched unsharded ({} bytes)",
+                    off.len()
+                );
+            } else {
+                let first = baseline
+                    .iter()
+                    .zip(&off)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(baseline.len().min(off.len()));
+                println!(
+                    "FAIL {name}: {threads} thread(s), {TILES} tiles, forced \
+                     scalar diverges from dispatched at byte {first} \
+                     (lens {} vs {})",
+                    baseline.len(),
+                    off.len()
+                );
+                failures += 1;
+            }
+        }
+    }
+
     if failures > 0 {
         println!("determinism_harness: {failures} divergent run(s)");
         std::process::exit(1);
     }
     println!(
         "determinism_harness: all solvers (sharded and unsharded) \
-         byte-identical at {THREAD_COUNTS:?} threads"
+         byte-identical at {THREAD_COUNTS:?} threads, simd dispatch \
+         ({dispatched}) byte-identical to forced scalar"
     );
 }

@@ -56,6 +56,7 @@ pub mod io;
 pub mod money;
 pub mod par;
 pub mod sanitize;
+pub mod simd;
 pub mod tags;
 pub mod utility;
 

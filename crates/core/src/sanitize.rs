@@ -135,6 +135,23 @@ mod real {
         true
     }
 
+    /// Run `f` with this thread's allocation accounting suspended.
+    ///
+    /// For *one-time infrastructure initialisation* that may land inside
+    /// a strict [`AllocGuard`] region on its very first call — e.g. the
+    /// SIMD kernel dispatch (DESIGN.md §16) reading `MUAA_FORCE_SCALAR`
+    /// from the environment the first time a hot kernel runs. Such an
+    /// allocation is real but happens exactly once per process, so it is
+    /// excluded the same way the registry's own bookkeeping is. Not for
+    /// steady-state code: anything allocating per call must either be
+    /// fixed or carry a justified `lint: allow(hot_alloc)`.
+    pub fn suspended<R>(f: impl FnOnce() -> R) -> R {
+        let prev = SUSPENDED.with(|s| s.replace(true));
+        let out = f();
+        SUSPENDED.with(|s| s.set(prev));
+        out
+    }
+
     /// Allocations made by the current thread so far (monotone).
     pub fn thread_alloc_count() -> u64 {
         ALLOCS.with(Cell::get)
@@ -278,6 +295,13 @@ mod real {
         false
     }
 
+    /// Without `muaa-sanitize` there is no accounting to suspend: runs
+    /// `f` directly.
+    #[inline(always)]
+    pub fn suspended<R>(f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
     /// Always 0 without `muaa-sanitize`.
     #[inline(always)]
     pub fn thread_alloc_count() -> u64 {
@@ -342,7 +366,7 @@ mod real {
 }
 
 pub use real::{
-    enabled, note_f64, region_stats, reset_region_stats, thread_alloc_count,
+    enabled, note_f64, region_stats, reset_region_stats, suspended, thread_alloc_count,
     thread_nonfinite_count, AllocGuard, NanGuard, RegionStats,
 };
 
@@ -454,6 +478,17 @@ mod tests {
         }
         done_tx.send(()).expect("worker alive");
         noisy.join().expect("worker exits");
+    }
+
+    #[test]
+    fn suspended_allocations_are_invisible_to_strict_guards() {
+        let guard = AllocGuard::strict("test.suspended");
+        suspended(|| {
+            let v: Vec<u64> = Vec::with_capacity(8);
+            drop(v);
+        });
+        assert_eq!(guard.allocations(), 0, "suspended init must not count");
+        drop(guard);
     }
 
     #[test]

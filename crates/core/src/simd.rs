@@ -1,0 +1,711 @@
+//! Explicit SIMD kernels for the Eq. (5) moment loops, with a canonical
+//! lane schedule and one-time runtime dispatch (DESIGN.md §16).
+//!
+//! Every MUAA solver pass bottoms out in two tiny loops: the
+//! *pair-side* accumulation `(swy, swyy, swxy)` over
+//! `(weights, xs, ys)` and the *customer-side* accumulation
+//! `(sw, swx, swxx)` over `(weights, xs)` — see
+//! [`crate::utility::PearsonUtility`]. This module owns both, in three
+//! spellings:
+//!
+//! * **canonical scalar** ([`pair_moments_scalar`],
+//!   [`weight_moments_scalar`]) — the reference implementation, always
+//!   compiled, written in the canonical lane schedule below;
+//! * **AVX2** (`x86_64`, behind the `simd` feature) — the same schedule
+//!   with 4-wide `__m256d` vectors, runtime-detected;
+//! * **NEON** (`aarch64`, behind the `simd` feature) — the same
+//!   schedule with two 2-wide `float64x2_t` vectors per moment; NEON is
+//!   a baseline feature of the `aarch64` target, so no runtime probe.
+//!
+//! ## The canonical lane schedule
+//!
+//! Floating-point addition is not associative, so "same sums" is not
+//! enough for the workspace's 0 ULP guarantees — every spelling must
+//! perform *the same additions in the same order*. The schedule is:
+//!
+//! 1. split the input into `len / LANES` full chunks of [`LANES`] (= 4)
+//!    elements; element `chunk*LANES + l` accumulates into per-lane
+//!    partial `l` (so lane `l` sums elements `t ≡ l (mod 4)` of the
+//!    chunked prefix, each lane a strictly sequential add chain);
+//! 2. reduce horizontally in one fixed order: `(l0 + l1) + (l2 + l3)`;
+//! 3. fold the ragged tail (`len % LANES` elements) into the reduced
+//!    sum sequentially, in index order.
+//!
+//! The scalar spelling writes this schedule out with arrays; the SIMD
+//! spellings map lane `l` to vector lane `l` and use separate
+//! multiply/add instructions (**never FMA** — fused multiply-add skips
+//! the intermediate rounding and would change results). Per-lane add
+//! chains are therefore instruction-for-instruction identical, and the
+//! reduction order is pinned, so scalar-chunked and SIMD agree
+//! bit-for-bit on every input — the property the dispatch tests and the
+//! determinism harness enforce.
+//!
+//! ## Dispatch
+//!
+//! [`kernels`] returns a `&'static` [`Kernels`] table resolved exactly
+//! once per process (a [`OnceLock`]’d function-pointer table):
+//! `MUAA_FORCE_SCALAR` (set, non-empty, not `"0"`) pins scalar;
+//! otherwise `is_x86_feature_detected!("avx2")` selects AVX2 on
+//! `x86_64`, NEON is unconditional on `aarch64`, and everything else
+//! (including `--features simd` on hosts without AVX2) falls back to
+//! the canonical scalar kernels. [`force_scalar`] /
+//! [`with_forced_scalar`] are process-wide test/bench hooks layered
+//! *over* the resolved table — they never perturb [`resolved`], so
+//! dispatch-stability assertions and byte-diff runs can coexist.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Width of the canonical lane schedule. Fixed at 4 on every platform —
+/// one AVX2 `__m256d`, two NEON `float64x2_t` — so the accumulation
+/// order (and therefore every bit of every result) is
+/// platform-independent.
+pub const LANES: usize = 4;
+
+/// Pair-side kernel signature: `(weights, xs, ys) → (swy, swyy, swxy)`.
+pub type PairMomentsFn = fn(&[f64], &[f64], &[f64]) -> (f64, f64, f64);
+
+/// Customer-side kernel signature: `(weights, xs) → (sw, swx, swxx)`.
+pub type WeightMomentsFn = fn(&[f64], &[f64]) -> (f64, f64, f64);
+
+/// A resolved kernel table: one implementation of each moment loop plus
+/// the facts benches and reports need to stay honest about what ran.
+#[derive(Debug)]
+pub struct Kernels {
+    /// Implementation name: `"scalar"`, `"avx2"` or `"neon"`.
+    pub name: &'static str,
+    /// `true` iff the table uses explicit SIMD intrinsics.
+    pub simd: bool,
+    /// `(weights, xs, ys) → (swy, swyy, swxy)`.
+    pub pair_moments: PairMomentsFn,
+    /// `(weights, xs) → (sw, swx, swxx)`.
+    pub weight_moments: WeightMomentsFn,
+}
+
+// ---------------------------------------------------------------------
+// Canonical scalar kernels (always compiled; the SIMD twins' reference)
+// ---------------------------------------------------------------------
+
+/// Canonical chunked spelling of the pair-side moment loop:
+/// `(swy, swyy, swxy) = Σ (w·y, (w·y)·y, (w·x)·y)` in the module-level
+/// lane schedule. This is the scalar twin of [`pair_moments_avx2`] /
+/// [`pair_moments_neon`] — bit-identical to both by construction.
+#[inline]
+#[cfg_attr(any(), muaa::hot)]
+pub fn pair_moments_scalar(weights: &[f64], xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(weights.len(), xs.len());
+    debug_assert_eq!(weights.len(), ys.len());
+    let n = ys.len();
+    let chunks = n / LANES;
+    let mut ly = [0.0f64; LANES];
+    let mut lyy = [0.0f64; LANES];
+    let mut lxy = [0.0f64; LANES];
+    for k in 0..chunks {
+        let base = k * LANES;
+        for l in 0..LANES {
+            let w = weights[base + l];
+            let x = xs[base + l];
+            let y = ys[base + l];
+            let wy = w * y;
+            ly[l] += wy;
+            lyy[l] += wy * y;
+            lxy[l] += (w * x) * y;
+        }
+    }
+    let mut swy = (ly[0] + ly[1]) + (ly[2] + ly[3]);
+    let mut swyy = (lyy[0] + lyy[1]) + (lyy[2] + lyy[3]);
+    let mut swxy = (lxy[0] + lxy[1]) + (lxy[2] + lxy[3]);
+    for t in chunks * LANES..n {
+        let w = weights[t];
+        let y = ys[t];
+        let wy = w * y;
+        swy += wy;
+        swyy += wy * y;
+        swxy += (w * xs[t]) * y;
+    }
+    (swy, swyy, swxy)
+}
+
+/// Canonical chunked spelling of the customer-side moment loop:
+/// `(sw, swx, swxx) = Σ (w, w·x, (w·x)·x)` in the module-level lane
+/// schedule. Scalar twin of [`weight_moments_avx2`] /
+/// [`weight_moments_neon`].
+#[inline]
+#[cfg_attr(any(), muaa::hot)]
+pub fn weight_moments_scalar(weights: &[f64], xs: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(weights.len(), xs.len());
+    let n = weights.len();
+    let chunks = n / LANES;
+    let mut lw = [0.0f64; LANES];
+    let mut lwx = [0.0f64; LANES];
+    let mut lwxx = [0.0f64; LANES];
+    for k in 0..chunks {
+        let base = k * LANES;
+        for l in 0..LANES {
+            let w = weights[base + l];
+            let x = xs[base + l];
+            let wx = w * x;
+            lw[l] += w;
+            lwx[l] += wx;
+            lwxx[l] += wx * x;
+        }
+    }
+    let mut sw = (lw[0] + lw[1]) + (lw[2] + lw[3]);
+    let mut swx = (lwx[0] + lwx[1]) + (lwx[2] + lwx[3]);
+    let mut swxx = (lwxx[0] + lwxx[1]) + (lwxx[2] + lwxx[3]);
+    for t in chunks * LANES..n {
+        let w = weights[t];
+        let x = xs[t];
+        let wx = w * x;
+        sw += w;
+        swx += wx;
+        swxx += wx * x;
+    }
+    (sw, swx, swxx)
+}
+
+/// The pre-§16 strictly sequential spelling of the pair-side loop, kept
+/// as the benchmark baseline (`simd_report`'s "scalar-sequential"
+/// column) and for the order-change regression tests. **Not**
+/// bit-compatible with the canonical schedule once `len > LANES` — it
+/// sums in plain index order — though both agree to ~1e-12 relative
+/// accuracy and exactly when `len ≤ LANES` (chunk count 0 makes the
+/// canonical schedule degenerate to this one).
+pub fn pair_moments_sequential(weights: &[f64], xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(weights.len(), xs.len());
+    debug_assert_eq!(weights.len(), ys.len());
+    let (mut swy, mut swyy, mut swxy) = (0.0, 0.0, 0.0);
+    for t in 0..ys.len() {
+        let w = weights[t];
+        let y = ys[t];
+        swy += w * y;
+        swyy += w * y * y;
+        swxy += w * xs[t] * y;
+    }
+    (swy, swyy, swxy)
+}
+
+/// Sequential twin of [`pair_moments_sequential`] for the customer-side
+/// loop; same role, same caveats.
+pub fn weight_moments_sequential(weights: &[f64], xs: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(weights.len(), xs.len());
+    let (mut sw, mut swx, mut swxx) = (0.0, 0.0, 0.0);
+    for t in 0..weights.len() {
+        let w = weights[t];
+        let x = xs[t];
+        sw += w;
+        swx += w * x;
+        swxx += w * x * x;
+    }
+    (sw, swx, swxx)
+}
+
+// ---------------------------------------------------------------------
+// AVX2 kernels (x86_64, `simd` feature)
+// ---------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+// SAFETY: requires AVX2 at runtime. The only callers are the
+// `*_avx2_entry` wrappers, reachable solely through the `AVX2` kernel
+// table, which `resolve` installs after
+// `is_x86_feature_detected!("avx2")` returned true on this host. Slice
+// accesses stay in bounds: the loads read `base .. base + LANES` with
+// `base + LANES ≤ chunks·LANES ≤ n`, and all three slices have equal
+// length (debug-asserted, guaranteed by the utility-layer callers).
+unsafe fn pair_moments_avx2(weights: &[f64], xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_castpd256_pd128, _mm256_extractf128_pd, _mm256_loadu_pd,
+        _mm256_mul_pd, _mm256_setzero_pd, _mm_cvtsd_f64, _mm_unpackhi_pd,
+    };
+    debug_assert_eq!(weights.len(), xs.len());
+    debug_assert_eq!(weights.len(), ys.len());
+    let n = ys.len();
+    let chunks = n / LANES;
+    let (wp, xp, yp) = (weights.as_ptr(), xs.as_ptr(), ys.as_ptr());
+    let mut vy = _mm256_setzero_pd();
+    let mut vyy = _mm256_setzero_pd();
+    let mut vxy = _mm256_setzero_pd();
+    for k in 0..chunks {
+        let base = k * LANES;
+        let w = _mm256_loadu_pd(wp.add(base));
+        let x = _mm256_loadu_pd(xp.add(base));
+        let y = _mm256_loadu_pd(yp.add(base));
+        // Separate mul + add per lane — never FMA — so each lane's add
+        // chain rounds exactly like `pair_moments_scalar`'s.
+        let wy = _mm256_mul_pd(w, y);
+        vy = _mm256_add_pd(vy, wy);
+        vyy = _mm256_add_pd(vyy, _mm256_mul_pd(wy, y));
+        vxy = _mm256_add_pd(vxy, _mm256_mul_pd(_mm256_mul_pd(w, x), y));
+    }
+    // Canonical horizontal reduction: (l0 + l1) + (l2 + l3), spelled
+    // with explicit scalar extracts so the add order is visible.
+    let (ylo, yhi) = (_mm256_castpd256_pd128(vy), _mm256_extractf128_pd::<1>(vy));
+    let mut swy = (_mm_cvtsd_f64(ylo) + _mm_cvtsd_f64(_mm_unpackhi_pd(ylo, ylo)))
+        + (_mm_cvtsd_f64(yhi) + _mm_cvtsd_f64(_mm_unpackhi_pd(yhi, yhi)));
+    let (yylo, yyhi) = (_mm256_castpd256_pd128(vyy), _mm256_extractf128_pd::<1>(vyy));
+    let mut swyy = (_mm_cvtsd_f64(yylo) + _mm_cvtsd_f64(_mm_unpackhi_pd(yylo, yylo)))
+        + (_mm_cvtsd_f64(yyhi) + _mm_cvtsd_f64(_mm_unpackhi_pd(yyhi, yyhi)));
+    let (xylo, xyhi) = (_mm256_castpd256_pd128(vxy), _mm256_extractf128_pd::<1>(vxy));
+    let mut swxy = (_mm_cvtsd_f64(xylo) + _mm_cvtsd_f64(_mm_unpackhi_pd(xylo, xylo)))
+        + (_mm_cvtsd_f64(xyhi) + _mm_cvtsd_f64(_mm_unpackhi_pd(xyhi, xyhi)));
+    for t in chunks * LANES..n {
+        let w = weights[t];
+        let y = ys[t];
+        let wy = w * y;
+        swy += wy;
+        swyy += wy * y;
+        swxy += (w * xs[t]) * y;
+    }
+    (swy, swyy, swxy)
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+// SAFETY: requires AVX2 at runtime; reachable only through the `AVX2`
+// kernel table installed by `resolve` after
+// `is_x86_feature_detected!("avx2")`. Bounds as in `pair_moments_avx2`:
+// loads cover `base .. base + LANES ≤ n` on equal-length slices.
+unsafe fn weight_moments_avx2(weights: &[f64], xs: &[f64]) -> (f64, f64, f64) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_castpd256_pd128, _mm256_extractf128_pd, _mm256_loadu_pd,
+        _mm256_mul_pd, _mm256_setzero_pd, _mm_cvtsd_f64, _mm_unpackhi_pd,
+    };
+    debug_assert_eq!(weights.len(), xs.len());
+    let n = weights.len();
+    let chunks = n / LANES;
+    let (wp, xp) = (weights.as_ptr(), xs.as_ptr());
+    let mut vw = _mm256_setzero_pd();
+    let mut vwx = _mm256_setzero_pd();
+    let mut vwxx = _mm256_setzero_pd();
+    for k in 0..chunks {
+        let base = k * LANES;
+        let w = _mm256_loadu_pd(wp.add(base));
+        let x = _mm256_loadu_pd(xp.add(base));
+        let wx = _mm256_mul_pd(w, x);
+        vw = _mm256_add_pd(vw, w);
+        vwx = _mm256_add_pd(vwx, wx);
+        vwxx = _mm256_add_pd(vwxx, _mm256_mul_pd(wx, x));
+    }
+    // Canonical (l0 + l1) + (l2 + l3) reduction, as in the pair kernel.
+    let (wlo, whi) = (_mm256_castpd256_pd128(vw), _mm256_extractf128_pd::<1>(vw));
+    let mut sw = (_mm_cvtsd_f64(wlo) + _mm_cvtsd_f64(_mm_unpackhi_pd(wlo, wlo)))
+        + (_mm_cvtsd_f64(whi) + _mm_cvtsd_f64(_mm_unpackhi_pd(whi, whi)));
+    let (xlo, xhi) = (_mm256_castpd256_pd128(vwx), _mm256_extractf128_pd::<1>(vwx));
+    let mut swx = (_mm_cvtsd_f64(xlo) + _mm_cvtsd_f64(_mm_unpackhi_pd(xlo, xlo)))
+        + (_mm_cvtsd_f64(xhi) + _mm_cvtsd_f64(_mm_unpackhi_pd(xhi, xhi)));
+    let (xxlo, xxhi) = (_mm256_castpd256_pd128(vwxx), _mm256_extractf128_pd::<1>(vwxx));
+    let mut swxx = (_mm_cvtsd_f64(xxlo) + _mm_cvtsd_f64(_mm_unpackhi_pd(xxlo, xxlo)))
+        + (_mm_cvtsd_f64(xxhi) + _mm_cvtsd_f64(_mm_unpackhi_pd(xxhi, xxhi)));
+    for t in chunks * LANES..n {
+        let w = weights[t];
+        let x = xs[t];
+        let wx = w * x;
+        sw += w;
+        swx += wx;
+        swxx += wx * x;
+    }
+    (sw, swx, swxx)
+}
+
+/// Safe fn-pointer entry for [`pair_moments_avx2`].
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+#[cfg_attr(any(), muaa::hot)]
+fn pair_moments_avx2_entry(weights: &[f64], xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    // SAFETY: this entry is reachable only through the `AVX2` kernel
+    // table, which `resolve` installs after
+    // `is_x86_feature_detected!("avx2")` returned true.
+    unsafe { pair_moments_avx2(weights, xs, ys) }
+}
+
+/// Safe fn-pointer entry for [`weight_moments_avx2`].
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+#[cfg_attr(any(), muaa::hot)]
+fn weight_moments_avx2_entry(weights: &[f64], xs: &[f64]) -> (f64, f64, f64) {
+    // SAFETY: reachable only through the `AVX2` kernel table installed
+    // by `resolve` after `is_x86_feature_detected!("avx2")`.
+    unsafe { weight_moments_avx2(weights, xs) }
+}
+
+// ---------------------------------------------------------------------
+// NEON kernels (aarch64, `simd` feature)
+// ---------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+#[target_feature(enable = "neon")]
+// SAFETY: NEON is a baseline feature of every `aarch64` target (the
+// `target_arch = "aarch64"` cfg is the dispatch guard — no runtime
+// probe exists or is needed). Loads read `base .. base + LANES ≤ n` on
+// equal-length slices, as debug-asserted.
+unsafe fn pair_moments_neon(weights: &[f64], xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    use std::arch::aarch64::{vaddq_f64, vaddvq_f64, vdupq_n_f64, vld1q_f64, vmulq_f64};
+    debug_assert_eq!(weights.len(), xs.len());
+    debug_assert_eq!(weights.len(), ys.len());
+    let n = ys.len();
+    let chunks = n / LANES;
+    let (wp, xp, yp) = (weights.as_ptr(), xs.as_ptr(), ys.as_ptr());
+    // Lanes 0/1 and 2/3 of the canonical schedule live in separate
+    // 2-wide registers; `vaddvq_f64` then yields exactly (l0 + l1) and
+    // (l2 + l3) for the canonical reduction.
+    let mut vy01 = vdupq_n_f64(0.0);
+    let mut vy23 = vdupq_n_f64(0.0);
+    let mut vyy01 = vdupq_n_f64(0.0);
+    let mut vyy23 = vdupq_n_f64(0.0);
+    let mut vxy01 = vdupq_n_f64(0.0);
+    let mut vxy23 = vdupq_n_f64(0.0);
+    for k in 0..chunks {
+        let base = k * LANES;
+        let w01 = vld1q_f64(wp.add(base));
+        let w23 = vld1q_f64(wp.add(base + 2));
+        let x01 = vld1q_f64(xp.add(base));
+        let x23 = vld1q_f64(xp.add(base + 2));
+        let y01 = vld1q_f64(yp.add(base));
+        let y23 = vld1q_f64(yp.add(base + 2));
+        // Separate mul + add — never FMA (vfmaq) — matching the scalar
+        // twin's rounding per lane.
+        let wy01 = vmulq_f64(w01, y01);
+        let wy23 = vmulq_f64(w23, y23);
+        vy01 = vaddq_f64(vy01, wy01);
+        vy23 = vaddq_f64(vy23, wy23);
+        vyy01 = vaddq_f64(vyy01, vmulq_f64(wy01, y01));
+        vyy23 = vaddq_f64(vyy23, vmulq_f64(wy23, y23));
+        vxy01 = vaddq_f64(vxy01, vmulq_f64(vmulq_f64(w01, x01), y01));
+        vxy23 = vaddq_f64(vxy23, vmulq_f64(vmulq_f64(w23, x23), y23));
+    }
+    let mut swy = vaddvq_f64(vy01) + vaddvq_f64(vy23);
+    let mut swyy = vaddvq_f64(vyy01) + vaddvq_f64(vyy23);
+    let mut swxy = vaddvq_f64(vxy01) + vaddvq_f64(vxy23);
+    for t in chunks * LANES..n {
+        let w = weights[t];
+        let y = ys[t];
+        let wy = w * y;
+        swy += wy;
+        swyy += wy * y;
+        swxy += (w * xs[t]) * y;
+    }
+    (swy, swyy, swxy)
+}
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+#[target_feature(enable = "neon")]
+// SAFETY: NEON is baseline on `aarch64` (the `target_arch` cfg is the
+// dispatch guard). Bounds as in `pair_moments_neon`.
+unsafe fn weight_moments_neon(weights: &[f64], xs: &[f64]) -> (f64, f64, f64) {
+    use std::arch::aarch64::{vaddq_f64, vaddvq_f64, vdupq_n_f64, vld1q_f64, vmulq_f64};
+    debug_assert_eq!(weights.len(), xs.len());
+    let n = weights.len();
+    let chunks = n / LANES;
+    let (wp, xp) = (weights.as_ptr(), xs.as_ptr());
+    let mut vw01 = vdupq_n_f64(0.0);
+    let mut vw23 = vdupq_n_f64(0.0);
+    let mut vwx01 = vdupq_n_f64(0.0);
+    let mut vwx23 = vdupq_n_f64(0.0);
+    let mut vwxx01 = vdupq_n_f64(0.0);
+    let mut vwxx23 = vdupq_n_f64(0.0);
+    for k in 0..chunks {
+        let base = k * LANES;
+        let w01 = vld1q_f64(wp.add(base));
+        let w23 = vld1q_f64(wp.add(base + 2));
+        let x01 = vld1q_f64(xp.add(base));
+        let x23 = vld1q_f64(xp.add(base + 2));
+        let wx01 = vmulq_f64(w01, x01);
+        let wx23 = vmulq_f64(w23, x23);
+        vw01 = vaddq_f64(vw01, w01);
+        vw23 = vaddq_f64(vw23, w23);
+        vwx01 = vaddq_f64(vwx01, wx01);
+        vwx23 = vaddq_f64(vwx23, wx23);
+        vwxx01 = vaddq_f64(vwxx01, vmulq_f64(wx01, x01));
+        vwxx23 = vaddq_f64(vwxx23, vmulq_f64(wx23, x23));
+    }
+    let mut sw = vaddvq_f64(vw01) + vaddvq_f64(vw23);
+    let mut swx = vaddvq_f64(vwx01) + vaddvq_f64(vwx23);
+    let mut swxx = vaddvq_f64(vwxx01) + vaddvq_f64(vwxx23);
+    for t in chunks * LANES..n {
+        let w = weights[t];
+        let x = xs[t];
+        let wx = w * x;
+        sw += w;
+        swx += wx;
+        swxx += wx * x;
+    }
+    (sw, swx, swxx)
+}
+
+/// Safe fn-pointer entry for [`pair_moments_neon`].
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+#[inline]
+#[cfg_attr(any(), muaa::hot)]
+fn pair_moments_neon_entry(weights: &[f64], xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    // SAFETY: NEON is baseline on every `aarch64` target; the
+    // `target_arch = "aarch64"` cfg on this entry is the dispatch guard.
+    unsafe { pair_moments_neon(weights, xs, ys) }
+}
+
+/// Safe fn-pointer entry for [`weight_moments_neon`].
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+#[inline]
+#[cfg_attr(any(), muaa::hot)]
+fn weight_moments_neon_entry(weights: &[f64], xs: &[f64]) -> (f64, f64, f64) {
+    // SAFETY: NEON is baseline on every `aarch64` target; the
+    // `target_arch = "aarch64"` cfg on this entry is the dispatch guard.
+    unsafe { weight_moments_neon(weights, xs) }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+static SCALAR: Kernels = Kernels {
+    name: "scalar",
+    simd: false,
+    pair_moments: pair_moments_scalar,
+    weight_moments: weight_moments_scalar,
+};
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+static AVX2: Kernels = Kernels {
+    name: "avx2",
+    simd: true,
+    pair_moments: pair_moments_avx2_entry,
+    weight_moments: weight_moments_avx2_entry,
+};
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+static NEON: Kernels = Kernels {
+    name: "neon",
+    simd: true,
+    pair_moments: pair_moments_neon_entry,
+    weight_moments: weight_moments_neon_entry,
+};
+
+/// Process-wide scalar override for tests and benches — layered over
+/// the resolved dispatch, never part of it.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+static RESOLVED: OnceLock<&'static Kernels> = OnceLock::new();
+
+/// Probe for the best SIMD table this build + host supports.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn simd_probe() -> &'static Kernels {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        &AVX2
+    } else {
+        &SCALAR
+    }
+}
+
+/// NEON is a baseline feature of the `aarch64` target — compile-time
+/// dispatch, no runtime probe.
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+fn simd_probe() -> &'static Kernels {
+    &NEON
+}
+
+/// No `simd` feature, or an architecture without kernels here: the
+/// canonical scalar table is the only choice.
+#[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+fn simd_probe() -> &'static Kernels {
+    &SCALAR
+}
+
+fn resolve() -> &'static Kernels {
+    let forced = std::env::var_os("MUAA_FORCE_SCALAR")
+        .is_some_and(|v| !v.is_empty() && v != "0");
+    if forced {
+        &SCALAR
+    } else {
+        simd_probe()
+    }
+}
+
+/// The kernel table this process resolved to, computed exactly once on
+/// first use (env check + CPU probe inside a [`OnceLock`], with
+/// sanitizer accounting suspended so first use inside a strict
+/// [`crate::sanitize::AllocGuard`] region stays clean). Ignores the
+/// [`force_scalar`] override — this is the *dispatch decision*, stable
+/// for the life of the process.
+pub fn resolved() -> &'static Kernels {
+    RESOLVED.get_or_init(|| crate::sanitize::suspended(resolve))
+}
+
+/// The kernel table for the current call: [`resolved`] unless the
+/// [`force_scalar`] override is on, in which case the canonical scalar
+/// table. Cheap enough for per-call use (one relaxed atomic load plus a
+/// `OnceLock` read) — hot paths may still hoist it out of inner loops.
+#[inline]
+#[cfg_attr(any(), muaa::hot)]
+pub fn kernels() -> &'static Kernels {
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        &SCALAR
+    } else {
+        resolved()
+    }
+}
+
+/// Test/bench hook: route all subsequent [`kernels`] calls — on every
+/// thread — to the canonical scalar table (`true`) or back to the
+/// resolved dispatch (`false`). Process-wide so parallel solver runs
+/// under [`crate::par::with_threads`] are covered; tests that toggle it
+/// must serialize against tests asserting the SIMD table is active
+/// (keep both inside one `#[test]`, or in separate test binaries).
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// Run `f` with the scalar override on, restoring the previous state
+/// after — the byte-diff harness pattern: `with_forced_scalar(run)`
+/// versus `run()` must agree bit-for-bit.
+pub fn with_forced_scalar<R>(f: impl FnOnce() -> R) -> R {
+    let prev = FORCE_SCALAR.swap(true, Ordering::Relaxed);
+    let out = f();
+    FORCE_SCALAR.store(prev, Ordering::Relaxed);
+    out
+}
+
+/// `true` iff this process resolved to an explicit-SIMD table (AVX2 or
+/// NEON). Honest by construction: scalar fallbacks — feature off, no
+/// AVX2, `MUAA_FORCE_SCALAR` — all report `false`.
+pub fn simd_available() -> bool {
+    resolved().simd
+}
+
+/// Dispatched pair-side moments `(swy, swyy, swxy)`; see [`Kernels`].
+#[inline]
+#[cfg_attr(any(), muaa::hot)]
+pub fn pair_moments(weights: &[f64], xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    (kernels().pair_moments)(weights, xs, ys)
+}
+
+/// Dispatched customer-side moments `(sw, swx, swxx)`; see [`Kernels`].
+#[inline]
+#[cfg_attr(any(), muaa::hot)]
+pub fn weight_moments(weights: &[f64], xs: &[f64]) -> (f64, f64, f64) {
+    (kernels().weight_moments)(weights, xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random data in `[0, 1]` (no `rand` needed).
+    fn data(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatched_kernels_match_scalar_bit_for_bit_at_all_widths() {
+        // Widths 0..=65 cover empty input, tail-only, exact multiples of
+        // LANES and every ragged-tail residue. On an AVX2/NEON host this
+        // is the scalar↔SIMD bit-identity proof; on others it pins the
+        // dispatcher to the scalar table.
+        for n in 0..=65usize {
+            let w = data(n, 1 + n as u64);
+            let x = data(n, 1000 + n as u64);
+            let y = data(n, 2000 + n as u64);
+            let (a0, a1, a2) = pair_moments_scalar(&w, &x, &y);
+            let (b0, b1, b2) = pair_moments(&w, &x, &y);
+            assert_eq!(
+                (a0.to_bits(), a1.to_bits(), a2.to_bits()),
+                (b0.to_bits(), b1.to_bits(), b2.to_bits()),
+                "pair_moments diverged from scalar at width {n} (kernel {})",
+                kernels().name
+            );
+            let (c0, c1, c2) = weight_moments_scalar(&w, &x);
+            let (d0, d1, d2) = weight_moments(&w, &x);
+            assert_eq!(
+                (c0.to_bits(), c1.to_bits(), c2.to_bits()),
+                (d0.to_bits(), d1.to_bits(), d2.to_bits()),
+                "weight_moments diverged from scalar at width {n} (kernel {})",
+                kernels().name
+            );
+        }
+    }
+
+    #[test]
+    fn resolved_dispatch_pointer_is_stable_across_calls() {
+        let first = resolved();
+        for _ in 0..100 {
+            assert!(std::ptr::eq(first, resolved()), "dispatch must resolve once");
+        }
+        // The override never perturbs the resolved decision.
+        with_forced_scalar(|| {
+            assert!(std::ptr::eq(first, resolved()));
+            assert_eq!(kernels().name, "scalar");
+        });
+    }
+
+    #[test]
+    fn tail_only_widths_degenerate_to_the_sequential_order() {
+        // With fewer than LANES elements there are zero full chunks, so
+        // the canonical schedule *is* the sequential loop — bitwise.
+        for n in 0..LANES {
+            let w = data(n, 7);
+            let x = data(n, 8);
+            let y = data(n, 9);
+            let a = pair_moments_scalar(&w, &x, &y);
+            let b = pair_moments_sequential(&w, &x, &y);
+            assert_eq!(
+                (a.0.to_bits(), a.1.to_bits(), a.2.to_bits()),
+                (b.0.to_bits(), b.1.to_bits(), b.2.to_bits()),
+                "tail-only width {n} must match the sequential spelling"
+            );
+            let c = weight_moments_scalar(&w, &x);
+            let d = weight_moments_sequential(&w, &x);
+            assert_eq!(
+                (c.0.to_bits(), c.1.to_bits(), c.2.to_bits()),
+                (d.0.to_bits(), d.1.to_bits(), d.2.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_and_sequential_orders_agree_numerically() {
+        // The canonical reorder is a pure reassociation: identical terms,
+        // different add order — so the spellings agree to ~1e-12 even
+        // where they are not bitwise equal.
+        for n in [5usize, 16, 33, 64, 257] {
+            let w = data(n, 11);
+            let x = data(n, 12);
+            let y = data(n, 13);
+            let a = pair_moments_scalar(&w, &x, &y);
+            let b = pair_moments_sequential(&w, &x, &y);
+            for (ca, cb) in [(a.0, b.0), (a.1, b.1), (a.2, b.2)] {
+                assert!(
+                    (ca - cb).abs() <= 1e-12 * cb.abs().max(1.0),
+                    "reassociation drifted at width {n}: {ca} vs {cb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_scalar_restores_previous_state() {
+        let before = kernels().name;
+        let inner = with_forced_scalar(|| kernels().name);
+        assert_eq!(inner, "scalar");
+        assert_eq!(kernels().name, before);
+    }
+
+    #[test]
+    fn simd_available_reports_the_resolved_table() {
+        assert_eq!(simd_available(), resolved().simd);
+        // The honest-flag contract: name and flag agree.
+        assert_eq!(resolved().simd, resolved().name != "scalar");
+    }
+
+    #[test]
+    fn moments_of_empty_input_are_zero() {
+        assert_eq!(pair_moments(&[], &[], &[]), (0.0, 0.0, 0.0));
+        assert_eq!(weight_moments(&[], &[]), (0.0, 0.0, 0.0));
+    }
+}

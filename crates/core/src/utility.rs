@@ -32,7 +32,6 @@ use crate::activity::Timestamp;
 use crate::entities::{AdType, Customer, Vendor};
 use crate::geo::DEFAULT_MIN_DISTANCE;
 use crate::ids::{CustomerId, VendorId};
-use std::collections::HashMap;
 
 /// The utility and distance model plugged into every MUAA algorithm.
 pub trait UtilityModel: Send + Sync {
@@ -132,6 +131,18 @@ impl PearsonUtility {
     /// Weighted Pearson correlation of two equal-length slices with the
     /// given non-negative weights (Eq. 5). Returns 0 when the total
     /// weight or either weighted variance is (numerically) zero.
+    ///
+    /// This is the **oracle spelling** of Eq. (5): the textbook two-pass
+    /// centered formulation (means first, then centered cross/variance
+    /// sums), deliberately *different* arithmetic from the raw-moment
+    /// kernels that the solver paths use ([`crate::simd`] +
+    /// [`pearson_from_moments`]). The production kernels must stay
+    /// within `1e-12` of this function — pinned by unit tests here and a
+    /// proptest over random weights/tags — so a bug in the fused
+    /// raw-moment algebra cannot drift silently while the bit-identity
+    /// tests (which compare kernels only against each other) keep
+    /// passing. Keep this implementation naive and readable; it is the
+    /// ground truth, not a hot path.
     pub fn weighted_pearson(xs: &[f64], ys: &[f64], weights: &[f64]) -> f64 {
         debug_assert_eq!(xs.len(), ys.len());
         debug_assert_eq!(xs.len(), weights.len());
@@ -180,14 +191,9 @@ impl PearsonUtility {
         let mut weights = vec![0.0; tags];
         self.activity.levels_at_slice(customer.arrival, &mut weights);
         let xs = customer.interests.as_slice();
-        let (mut sw, mut swx, mut swxx) = (0.0, 0.0, 0.0);
-        for t in 0..tags {
-            let w = weights[t];
-            let x = xs[t];
-            sw += w;
-            swx += w * x;
-            swxx += w * x * x;
-        }
+        // Canonical lane schedule (DESIGN.md §16), SIMD when dispatched
+        // — bit-identical either way.
+        let (sw, swx, swxx) = crate::simd::weight_moments(&weights, xs);
         CustomerMoments {
             weights,
             sw,
@@ -225,6 +231,13 @@ impl PearsonUtility {
     /// precomputed moments, `ys` the vendor tags. Bit-identical to the
     /// struct-based path — `similarity_with_moments` is a thin wrapper
     /// over this function.
+    ///
+    /// The pair-side moments go through the dispatched
+    /// [`crate::simd`] kernel (canonical lane schedule; AVX2/NEON when
+    /// available, bit-identical scalar otherwise). Batch callers that
+    /// evaluate many pairs should resolve the kernel table once with
+    /// [`crate::simd::kernels`] and use
+    /// [`similarity_from_parts_with`](Self::similarity_from_parts_with).
     #[inline]
     #[cfg_attr(any(), muaa::hot)]
     pub fn similarity_from_parts(
@@ -235,17 +248,27 @@ impl PearsonUtility {
         swxx: f64,
         ys: &[f64],
     ) -> f64 {
+        Self::similarity_from_parts_with(crate::simd::kernels(), weights, xs, sw, swx, swxx, ys)
+    }
+
+    /// [`similarity_from_parts`](Self::similarity_from_parts) with the
+    /// kernel table hoisted out: the batched block kernels resolve the
+    /// dispatch once per block (DESIGN.md §16) instead of per pair.
+    #[inline]
+    #[cfg_attr(any(), muaa::hot)]
+    pub fn similarity_from_parts_with(
+        kernels: &crate::simd::Kernels,
+        weights: &[f64],
+        xs: &[f64],
+        sw: f64,
+        swx: f64,
+        swxx: f64,
+        ys: &[f64],
+    ) -> f64 {
         let _hot = crate::sanitize::AllocGuard::strict("utility.similarity_from_parts");
         debug_assert_eq!(xs.len(), weights.len());
         debug_assert_eq!(ys.len(), weights.len());
-        let (mut swy, mut swyy, mut swxy) = (0.0, 0.0, 0.0);
-        for t in 0..ys.len() {
-            let w = weights[t];
-            let y = ys[t];
-            swy += w * y;
-            swyy += w * y * y;
-            swxy += w * xs[t] * y;
-        }
+        let (swy, swyy, swxy) = (kernels.pair_moments)(weights, xs, ys);
         pearson_from_moments(sw, swx, swxx, swy, swyy, swxy).clamp(0.0, 1.0)
     }
 }
@@ -344,25 +367,62 @@ impl UtilityModel for PearsonUtility {
         let tags = customer.interests.len();
         debug_assert_eq!(tags, vendor.tags.len());
         debug_assert_eq!(tags, self.activity.tags());
-        // Single fused pass over the tags, no scratch allocation. Each
-        // of the six raw moments is accumulated in the same per-tag
-        // order as the customer_moments / similarity_with_moments
-        // split, so the cached path is bit-identical to this one.
+        // Single fused pass over the tags, no scratch allocation, in the
+        // canonical lane schedule of DESIGN.md §16: per-lane partials
+        // over the chunked prefix, the fixed (l0+l1)+(l2+l3) reduction,
+        // then a sequential tail. Each of the six raw moments therefore
+        // accumulates exactly like the split customer_moments /
+        // similarity_from_parts kernels (scalar or SIMD alike), keeping
+        // the cached paths bit-identical to this one. The weights come
+        // from the activity interpolation per tag, so this path stays
+        // scalar — the schedule, not the instruction set, is what the
+        // 0 ULP guarantee rests on.
         let xs = customer.interests.as_slice();
         let ys = vendor.tags.as_slice();
         let at = customer.arrival;
-        let (mut sw, mut swx, mut swxx) = (0.0, 0.0, 0.0);
-        let (mut swy, mut swyy, mut swxy) = (0.0, 0.0, 0.0);
-        for t in 0..tags {
+        const LANES: usize = crate::simd::LANES;
+        let chunks = tags / LANES;
+        let mut lw = [0.0f64; LANES];
+        let mut lwx = [0.0f64; LANES];
+        let mut lwxx = [0.0f64; LANES];
+        let mut lwy = [0.0f64; LANES];
+        let mut lwyy = [0.0f64; LANES];
+        let mut lwxy = [0.0f64; LANES];
+        for k in 0..chunks {
+            let base = k * LANES;
+            for l in 0..LANES {
+                let t = base + l;
+                let w = self.activity.level(t, at);
+                let x = xs[t];
+                let y = ys[t];
+                let wx = w * x;
+                let wy = w * y;
+                lw[l] += w;
+                lwx[l] += wx;
+                lwxx[l] += wx * x;
+                lwy[l] += wy;
+                lwyy[l] += wy * y;
+                lwxy[l] += wx * y;
+            }
+        }
+        let mut sw = (lw[0] + lw[1]) + (lw[2] + lw[3]);
+        let mut swx = (lwx[0] + lwx[1]) + (lwx[2] + lwx[3]);
+        let mut swxx = (lwxx[0] + lwxx[1]) + (lwxx[2] + lwxx[3]);
+        let mut swy = (lwy[0] + lwy[1]) + (lwy[2] + lwy[3]);
+        let mut swyy = (lwyy[0] + lwyy[1]) + (lwyy[2] + lwyy[3]);
+        let mut swxy = (lwxy[0] + lwxy[1]) + (lwxy[2] + lwxy[3]);
+        for t in chunks * LANES..tags {
             let w = self.activity.level(t, at);
             let x = xs[t];
             let y = ys[t];
+            let wx = w * x;
+            let wy = w * y;
             sw += w;
-            swx += w * x;
-            swxx += w * x * x;
-            swy += w * y;
-            swyy += w * y * y;
-            swxy += w * x * y;
+            swx += wx;
+            swxx += wx * x;
+            swy += wy;
+            swyy += wy * y;
+            swxy += wx * y;
         }
         pearson_from_moments(sw, swx, swxx, swy, swyy, swxy).clamp(0.0, 1.0)
     }
@@ -372,9 +432,17 @@ impl UtilityModel for PearsonUtility {
 /// (customer, vendor) pair, exactly as the paper's Example 1 presents
 /// its Table II. Pairs absent from the table have similarity 0 and
 /// infinite distance (hence are never valid).
+///
+/// Entries live in a `Vec` kept sorted by `(customer, vendor)` key with
+/// binary-search lookups — deterministic `Debug` output and iteration
+/// order by construction (D2-proof: there is no hash order to leak),
+/// and cache-friendlier than a `HashMap` at Example-1 scale. Inserts
+/// are `O(n)`; the table is a test/exposition model, not a hot path.
 #[derive(Clone, Debug, Default)]
 pub struct TableUtility {
-    entries: HashMap<(u32, u32), (f64, f64)>,
+    /// Sorted by key; unique keys ([`set_pair`](Self::set_pair)
+    /// overwrites in place).
+    entries: Vec<((u32, u32), (f64, f64))>,
     min_distance: f64,
 }
 
@@ -382,9 +450,17 @@ impl TableUtility {
     /// Start an empty table.
     pub fn new() -> Self {
         TableUtility {
-            entries: HashMap::new(),
+            entries: Vec::new(),
             min_distance: DEFAULT_MIN_DISTANCE,
         }
+    }
+
+    /// Binary-search lookup of a pair's `(preference, distance)` entry.
+    fn lookup(&self, cid: CustomerId, vid: VendorId) -> Option<(f64, f64)> {
+        self.entries
+            .binary_search_by(|&(key, _)| key.cmp(&(cid.0, vid.0)))
+            .ok()
+            .map(|i| self.entries[i].1)
     }
 
     /// Record `(preference, distance)` for a pair; returns `self` for
@@ -410,7 +486,11 @@ impl TableUtility {
             distance.is_finite() && distance >= 0.0,
             "distance must be finite and non-negative"
         );
-        self.entries.insert((cid.0, vid.0), (preference, distance));
+        let key = (cid.0, vid.0);
+        match self.entries.binary_search_by(|&(k, _)| k.cmp(&key)) {
+            Ok(i) => self.entries[i].1 = (preference, distance),
+            Err(i) => self.entries.insert(i, (key, (preference, distance))),
+        }
     }
 
     /// Number of pairs in the table.
@@ -426,14 +506,14 @@ impl TableUtility {
 
 impl UtilityModel for TableUtility {
     fn distance(&self, cid: CustomerId, _c: &Customer, vid: VendorId, _v: &Vendor) -> f64 {
-        match self.entries.get(&(cid.0, vid.0)) {
-            Some(&(_, d)) => d.max(self.min_distance),
+        match self.lookup(cid, vid) {
+            Some((_, d)) => d.max(self.min_distance),
             None => f64::INFINITY,
         }
     }
 
     fn similarity(&self, cid: CustomerId, _c: &Customer, vid: VendorId, _v: &Vendor) -> f64 {
-        self.entries.get(&(cid.0, vid.0)).map_or(0.0, |&(p, _)| p)
+        self.lookup(cid, vid).map_or(0.0, |(p, _)| p)
     }
 }
 
@@ -639,6 +719,47 @@ mod tests {
         assert_eq!(
             table.utility(CustomerId::new(0), &c, VendorId::new(0), &v, &ad),
             0.0
+        );
+    }
+
+    #[test]
+    fn table_utility_lookup_is_insertion_order_independent() {
+        // Insert the same pairs in two different orders (including an
+        // overwrite) and require identical lookups, lengths, and Debug
+        // output — the sorted-Vec representation has one canonical form.
+        let pairs = [
+            (3u32, 1u32, 0.2, 4.0),
+            (0, 2, 0.9, 1.5),
+            (3, 0, 0.5, 2.0),
+            (1, 1, 0.7, 3.0),
+            (0, 0, 0.1, 9.0),
+        ];
+        let mut forward = TableUtility::new();
+        for &(c, v, p, d) in &pairs {
+            forward.set_pair(CustomerId::new(c), VendorId::new(v), p, d);
+        }
+        let mut reverse = TableUtility::new();
+        // Stale value first, then the overwrite on the (1,1) slot.
+        reverse.set_pair(CustomerId::new(1), VendorId::new(1), 0.3, 8.0);
+        for &(c, v, p, d) in pairs.iter().rev() {
+            reverse.set_pair(CustomerId::new(c), VendorId::new(v), p, d);
+        }
+        assert_eq!(forward.len(), 5);
+        assert_eq!(reverse.len(), 5);
+        assert_eq!(format!("{forward:?}"), format!("{reverse:?}"));
+        let c = customer_with(vec![0.0], 0.5, Timestamp::MIDNIGHT);
+        let v = vendor_with(vec![0.0], Point::new(0.0, 0.0));
+        for &(ci, vi, p, d) in &pairs {
+            let (cid, vid) = (CustomerId::new(ci), VendorId::new(vi));
+            assert_eq!(forward.similarity(cid, &c, vid, &v), p);
+            assert_eq!(reverse.similarity(cid, &c, vid, &v), p);
+            assert_eq!(forward.distance(cid, &c, vid, &v), d);
+            assert_eq!(reverse.distance(cid, &c, vid, &v), d);
+        }
+        // Absent keys adjacent to present ones still miss.
+        assert_eq!(
+            forward.distance(CustomerId::new(2), &c, VendorId::new(0), &v),
+            f64::INFINITY
         );
     }
 }

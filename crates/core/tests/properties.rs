@@ -137,6 +137,34 @@ proptest! {
         prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a));
     }
 
+    /// The two-pass `weighted_pearson` is the *oracle* spelling; the
+    /// production kernels accumulate one-pass moments on the canonical
+    /// 4-lane chunked schedule (DESIGN.md §16). Pin the two within
+    /// 1e-12 at ragged widths 0–64 so neither spelling can drift.
+    #[test]
+    fn oracle_pearson_matches_chunked_kernel_within_1e12(
+        len in 0usize..=64,
+        seed in proptest::num::u64::ANY,
+    ) {
+        // Deterministic per-seed data so `len` covers every ragged
+        // tail (0..4 leftover lanes) with fresh values each case.
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            0.01 + 0.98 * ((state >> 11) as f64 / (1u64 << 53) as f64)
+        };
+        let weights: Vec<f64> = (0..len).map(|_| next()).collect();
+        let xs: Vec<f64> = (0..len).map(|_| next()).collect();
+        let ys: Vec<f64> = (0..len).map(|_| next()).collect();
+        let oracle = PearsonUtility::weighted_pearson(&xs, &ys, &weights).clamp(0.0, 1.0);
+        let (sw, swx, swxx) = muaa_core::simd::weight_moments(&weights, &xs);
+        let kernel = PearsonUtility::similarity_from_parts(&weights, &xs, sw, swx, swxx, &ys);
+        prop_assert!(
+            (oracle - kernel).abs() < 1e-12,
+            "len {len}: oracle {oracle} vs chunked kernel {kernel}"
+        );
+    }
+
     #[test]
     fn pearson_is_scale_invariant_in_weights(
         xs in proptest::collection::vec(0.0..1.0f64, 5),

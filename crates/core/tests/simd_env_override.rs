@@ -1,0 +1,36 @@
+//! `MUAA_FORCE_SCALAR` must pin dispatch to the scalar kernels for the
+//! whole process. This lives in its own integration-test binary so the
+//! env var is set *before* the one-time dispatch resolution — mixing it
+//! into another test file would race whichever test touches the
+//! kernels first.
+
+use muaa_core::simd;
+
+#[test]
+fn env_override_pins_dispatch_to_scalar_for_the_process() {
+    // Must precede the first `kernels()` call anywhere in this process.
+    std::env::set_var("MUAA_FORCE_SCALAR", "1");
+
+    let k = simd::kernels();
+    assert_eq!(k.name, "scalar", "env override ignored by dispatch");
+    assert!(!k.simd);
+    assert!(!simd::simd_available());
+
+    // Resolution is one-time: the same table comes back, by address.
+    assert!(std::ptr::eq(k, simd::kernels()));
+
+    // And the pinned kernels are the scalar twins, observationally: the
+    // moments they produce match the scalar spellings bit for bit.
+    let w = [0.25, 0.5, 0.75, 1.0, 0.125];
+    let x = [0.9, 0.1, 0.4, 0.7, 0.3];
+    let y = [0.2, 0.8, 0.6, 0.5, 0.1];
+    let via_dispatch = (k.weight_moments)(&w, &x);
+    assert_eq!(via_dispatch, simd::weight_moments_scalar(&w, &x));
+    let (sw, swx, swxx) = via_dispatch;
+    assert_eq!(
+        (k.pair_moments)(&w, &x, &y),
+        simd::pair_moments_scalar(&w, &x, &y)
+    );
+    // Sanity: the moments are real numbers from real data.
+    assert!(sw > 0.0 && swx.is_finite() && swxx.is_finite());
+}

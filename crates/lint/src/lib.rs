@@ -124,8 +124,9 @@ pub fn check_source(rel_path: &str, src: &str) -> (Vec<Violation>, Vec<UnsafeSit
 }
 
 /// The full pass over a set of in-memory `(rel_path, source)` files:
-/// per-file rules (D1–D7), then the workspace-level dead-validator
-/// audit (D9), then allow hygiene (D8) — last, so its staleness check
+/// per-file rules (D1–D7), then the workspace-level passes — the
+/// dead-validator audit (D9) and the `#[target_feature]` kernel audit
+/// (D10) — then allow hygiene (D8) last, so its staleness check
 /// observes every other rule's allow consultations.
 pub fn run_sources(files: &[(String, String)]) -> Report {
     let analyzed: Vec<(FileAnalysis, tree::ItemTree)> = files
@@ -146,6 +147,7 @@ pub fn run_sources(files: &[(String, String)]) -> Report {
         report.unsafe_sites.extend(sites);
     }
     report.violations.extend(rules::d9_dead_validators(&analyzed));
+    report.violations.extend(rules::d10_target_feature(&analyzed));
     for (fa, _) in &analyzed {
         report.violations.extend(rules::d8_allow_hygiene(fa));
     }
@@ -542,6 +544,113 @@ mod tests {
         let report = run_sources(&files[..2]);
         let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
         assert_eq!(rules, vec!["D9", "D9"], "{:?}", report.violations);
+    }
+
+    // ---- D10 --------------------------------------------------------
+
+    /// A fully compliant SIMD kernel file: unsafe target_feature fn,
+    /// SAFETY naming the probe, scalar twin referenced from a test.
+    const D10_GOOD: &str = "\
+#[target_feature(enable = \"avx2\")]\n\
+// SAFETY: callers reach this only through the dispatch table, which\n\
+// selects it after is_x86_feature_detected!(\"avx2\") returns true.\n\
+unsafe fn kernel_avx2(xs: &[f64]) -> f64 { xs[0] }\n\
+fn kernel_scalar(xs: &[f64]) -> f64 { xs[0] }\n\
+#[test]\n\
+fn twin_is_oracle() { kernel_scalar(&[1.0]); }\n";
+
+    #[test]
+    fn d10_accepts_compliant_kernels() {
+        assert!(violations("crates/x/src/simd.rs", D10_GOOD).is_empty());
+    }
+
+    #[test]
+    fn d10_flags_safe_target_feature_fns() {
+        let src = D10_GOOD.replace("unsafe fn kernel_avx2", "fn kernel_avx2");
+        let v = violations("crates/x/src/simd.rs", &src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "D10");
+        assert!(v[0].message.contains("must be `unsafe`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn d10_flags_safety_comments_that_do_not_name_the_guard() {
+        // No SAFETY at all → D3 fires on the unsafe token and D10 on
+        // the kernel.
+        let none = "#[target_feature(enable = \"avx2\")]\n\
+                    unsafe fn kernel_avx2(xs: &[f64]) -> f64 { xs[0] }\n\
+                    fn kernel_scalar(xs: &[f64]) -> f64 { xs[0] }\n\
+                    #[test]\nfn t() { kernel_scalar(&[1.0]); }\n";
+        let rules: Vec<&str> = violations("crates/x/src/simd.rs", none)
+            .iter()
+            .map(|v| v.rule)
+            .collect();
+        assert_eq!(rules, vec!["D3", "D10"], "{rules:?}");
+        // SAFETY present but names no guard → D10 only.
+        let vague = none.replace(
+            "unsafe fn kernel_avx2",
+            "// SAFETY: trust me, this is fine.\nunsafe fn kernel_avx2",
+        );
+        let v = violations("crates/x/src/simd.rs", &vague);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "D10");
+        assert!(v[0].message.contains("dispatch guard"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn d10_flags_missing_and_untested_scalar_twins() {
+        let no_twin = "#[target_feature(enable = \"avx2\")]\n\
+                       // SAFETY: selected by dispatch after is_x86_feature_detected.\n\
+                       unsafe fn kernel_avx2(xs: &[f64]) -> f64 { xs[0] }\n";
+        let v = violations("crates/x/src/simd.rs", no_twin);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("no same-file scalar twin"), "{}", v[0].message);
+        // Twin exists but nothing references it from a test.
+        let untested = format!("{no_twin}fn kernel_scalar(xs: &[f64]) -> f64 {{ xs[0] }}\n");
+        let v = violations("crates/x/src/simd.rs", &untested);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("not referenced by any test"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn d10_reaches_twins_through_helper_fns_and_cross_file_tests() {
+        // The test calls a helper; the helper's body references the
+        // twin — the fixpoint must chain through it. The test also
+        // lives in another file.
+        let kernels = "#[target_feature(enable = \"neon\")]\n\
+                       // SAFETY: NEON is baseline on aarch64; the target_arch cfg is the guard.\n\
+                       unsafe fn kernel_neon(xs: &[f64]) -> f64 { xs[0] }\n\
+                       fn kernel_scalar(xs: &[f64]) -> f64 { xs[0] }\n\
+                       pub fn compare_both(xs: &[f64]) -> f64 { kernel_scalar(xs) }\n";
+        let test = "#[test]\nfn t() { x::compare_both(&[1.0]); }\n";
+        let files: Vec<(String, String)> = [
+            ("crates/x/src/simd.rs", kernels),
+            ("crates/x/tests/t.rs", test),
+        ]
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+        let report = run_sources(&files);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // Drop the test file: the twin is unreachable again.
+        let report = run_sources(&files[..1]);
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["D10"], "{:?}", report.violations);
+    }
+
+    #[test]
+    fn d10_respects_the_allow_annotation() {
+        // Like SAFETY comments, the annotation sits between the
+        // attribute and the fn so it covers the `fn` line.
+        let src = "#[target_feature(enable = \"avx2\")]\n\
+                   // Prototype kernel; twin and dispatch table land next.\n\
+                   // lint: allow(target_feature)\n\
+                   unsafe fn kernel_avx2(xs: &[f64]) -> f64 { xs[0] }\n";
+        let v = violations("crates/x/src/simd.rs", src);
+        // The allow waives D10; D3 still wants SAFETY on the unsafe
+        // token, which this fixture deliberately lacks.
+        let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["D3"], "{v:?}");
     }
 
     // ---- JSON -------------------------------------------------------

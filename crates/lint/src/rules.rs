@@ -14,6 +14,7 @@
 //! | D7 | no order-sensitive float reductions in `cfg(feature = "parallel")` items | `// lint: allow(float_reduce)` |
 //! | D8 | every allow annotation is justified and still suppresses something | (none — fix the annotation) |
 //! | D9 | every `debug_validate` is reachable from at least one test | `// lint: allow(dead_validator)` |
+//! | D10 | every `#[target_feature(...)]` fn is `unsafe`, has a `SAFETY:` comment naming its dispatch guard, and has a test-referenced same-file scalar twin | `// lint: allow(target_feature)` |
 //!
 //! D1/D2 exist because the repo's 0-ULP parallel/sequential and
 //! delta-vs-rebuild guarantees die silently when a float comparator is
@@ -156,6 +157,15 @@ pub const RULES: &[RuleSpec] = &[
         id: "D9",
         summary: "debug_validate unreachable from any test",
         allow_key: "dead_validator",
+        include: &["crates/", "src/"],
+        exclude: &[],
+        skip_test_code: false,
+    },
+    RuleSpec {
+        id: "D10",
+        summary: "#[target_feature] fn not unsafe, or missing a SAFETY comment naming its \
+                  dispatch guard, or without a test-referenced same-file scalar twin",
+        allow_key: "target_feature",
         include: &["crates/", "src/"],
         exclude: &[],
         skip_test_code: false,
@@ -501,6 +511,25 @@ impl FileAnalysis {
             }
         }
         self.code.len().saturating_sub(1)
+    }
+
+    /// Combined text of the contiguous comment block on `line` or
+    /// running up immediately above it — D10 reads this to check that a
+    /// kernel's `SAFETY:` comment actually names its dispatch guard.
+    fn comment_text_before(&self, line: u32) -> String {
+        let mut lo = line;
+        while lo > 1 && self.comment_lines.contains(&(lo - 1)) {
+            lo -= 1;
+        }
+        let mut out = String::new();
+        for t in self.tokens.iter().filter(|t| t.is_comment()) {
+            let span_end = t.line + t.text.matches('\n').count() as u32;
+            if span_end >= lo && t.line <= line {
+                out.push_str(&t.text);
+                out.push('\n');
+            }
+        }
+        out
     }
 
     /// Is there a `// SAFETY:` comment on `line` or immediately above it
@@ -1294,4 +1323,154 @@ pub fn d9_dead_validators(analyzed: &[(FileAnalysis, ItemTree)]) -> Vec<Violatio
             )
         })
         .collect()
+}
+
+/// Known instruction-set suffixes on kernel names; stripping one yields
+/// the base name whose `_scalar`/`_chunked` twin D10 looks for.
+const D10_ARCH_SUFFIXES: &[&str] = &[
+    "_avx512", "_avx2", "_sse42", "_sse41", "_sse2", "_neon", "_sve", "_simd128", "_simd",
+];
+
+/// Markers a `#[target_feature]` kernel's SAFETY comment must carry to
+/// count as *naming its dispatch guard* (how callers establish the CPU
+/// actually has the feature).
+const D10_GUARD_MARKERS: &[&str] = &["feature_detected", "target_arch", "dispatch"];
+
+/// D10: `#[target_feature(...)]` kernel hygiene. Every such fn must
+///
+/// 1. be `unsafe` — calling it on a CPU without the feature is UB, so
+///    the signature must say so and force callers through a checked
+///    dispatch entry;
+/// 2. carry a `SAFETY:` comment that *names the dispatch guard* (the
+///    `is_x86_feature_detected!` probe, `target_arch` baseline, or the
+///    dispatch table) — "trust me" SAFETY comments rot;
+/// 3. have a same-file scalar twin (`<base>_scalar`, `<base>_chunked`,
+///    or `<base>` after stripping the instruction-set suffix) that some
+///    test actually references — the twin is the bit-identity oracle,
+///    and an untested oracle proves nothing.
+///
+/// Twin reachability is a D9-style fixpoint: a fn is test-referenced
+/// when its name appears in test code anywhere in the workspace, or
+/// inside the body of an already-reachable fn in the same file.
+pub fn d10_target_feature(analyzed: &[(FileAnalysis, ItemTree)]) -> Vec<Violation> {
+    let rule = spec("D10");
+    if !analyzed
+        .iter()
+        .any(|(_, tree)| tree.fns.iter().any(|f| f.has_target_feature))
+    {
+        return Vec::new();
+    }
+    // Seed: every identifier mentioned in test code, workspace-wide.
+    let mut test_mentions: BTreeSet<&str> = BTreeSet::new();
+    for (fa, _) in analyzed {
+        for ci in 0..fa.code_len() {
+            let t = fa.tok(ci);
+            if t.kind == TokenKind::Ident && fa.in_test(t.line) {
+                test_mentions.insert(t.text.as_str());
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (fa, tree) in analyzed {
+        if !applies(rule, &fa.rel_path)
+            || !tree.fns.iter().any(|f| f.has_target_feature && !fa.in_test(f.line))
+        {
+            continue;
+        }
+        // Idents inside each fn body, for the reachability fixpoint.
+        let body_idents: Vec<BTreeSet<&str>> = tree
+            .fns
+            .iter()
+            .map(|f| match f.body_lines {
+                Some((lo, hi)) => (0..fa.code_len())
+                    .map(|ci| fa.tok(ci))
+                    .filter(|t| t.kind == TokenKind::Ident && lo <= t.line && t.line <= hi)
+                    .map(|t| t.text.as_str())
+                    .collect(),
+                None => BTreeSet::new(),
+            })
+            .collect();
+        let mut reachable: Vec<bool> = tree
+            .fns
+            .iter()
+            .map(|f| test_mentions.contains(f.name.as_str()))
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..tree.fns.len() {
+                if !reachable[i] {
+                    continue;
+                }
+                for j in 0..tree.fns.len() {
+                    if !reachable[j] && body_idents[i].contains(tree.fns[j].name.as_str()) {
+                        reachable[j] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for f in tree.fns.iter().filter(|f| f.has_target_feature) {
+            if fa.in_test(f.line) {
+                continue;
+            }
+            let mut problems: Vec<String> = Vec::new();
+            if !f.is_unsafe {
+                problems.push(format!(
+                    "`#[target_feature]` fn `{}` must be `unsafe` — calling it without the \
+                     CPU feature is UB, so callers belong behind a checked dispatch entry",
+                    f.name
+                ));
+            }
+            let block = fa.comment_text_before(f.line);
+            if !(block.contains("SAFETY:")
+                && D10_GUARD_MARKERS.iter().any(|m| block.contains(m)))
+            {
+                problems.push(format!(
+                    "`#[target_feature]` fn `{}` needs a `// SAFETY:` comment naming its \
+                     dispatch guard (mention the feature-detection probe, `target_arch` \
+                     baseline, or dispatch table that makes callers sound)",
+                    f.name
+                ));
+            }
+            let base = D10_ARCH_SUFFIXES
+                .iter()
+                .find_map(|s| f.name.strip_suffix(s))
+                .unwrap_or(&f.name);
+            let twins: Vec<usize> = tree
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| {
+                    g.name != f.name
+                        && (g.name == format!("{base}_scalar")
+                            || g.name == format!("{base}_chunked")
+                            || g.name == base)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if twins.is_empty() {
+                problems.push(format!(
+                    "`#[target_feature]` fn `{}` has no same-file scalar twin \
+                     (`{base}_scalar` / `{base}_chunked` / `{base}`) to serve as its \
+                     bit-identity oracle",
+                    f.name
+                ));
+            } else if !twins.iter().any(|&i| reachable[i]) {
+                problems.push(format!(
+                    "scalar twin of `#[target_feature]` fn `{}` is not referenced by any \
+                     test — an untested oracle proves nothing about the kernel",
+                    f.name
+                ));
+            }
+            if !problems.is_empty() && !fa.allowed(rule.allow_key, f.line) {
+                for p in problems {
+                    out.push(fa.violation(rule.id, f.line, f.col, p));
+                }
+            }
+        }
+    }
+    out
 }

@@ -26,6 +26,11 @@ pub struct FnItem {
     /// `#[cfg_attr(any(), muaa::hot)]` spelling the workspace uses so
     /// the marker compiles away on stable.
     pub is_hot: bool,
+    /// Declared `unsafe fn` (any modifier order).
+    pub is_unsafe: bool,
+    /// Carries `#[target_feature(...)]` in any outer attribute —
+    /// rule D10's jurisdiction.
+    pub has_target_feature: bool,
     /// Line/column of the `fn` keyword.
     pub line: u32,
     pub col: u32,
@@ -64,6 +69,12 @@ fn attr_is_hot(attr: &[Token]) -> bool {
     attr.windows(4).any(|w| {
         w[0].is_ident("muaa") && w[1].is_punct(':') && w[2].is_punct(':') && w[3].is_ident("hot")
     })
+}
+
+/// Is this a `#[target_feature(...)]` attribute? `cfg_attr`-wrapped
+/// spellings count too — the token appears either way.
+fn attr_is_target_feature(attr: &[Token]) -> bool {
+    attr.iter().any(|t| t.is_ident("target_feature"))
 }
 
 /// Is this a positive `cfg` attribute on `feature = "parallel"`? A
@@ -170,10 +181,22 @@ pub fn build(fa: &FileAnalysis) -> ItemTree {
                 let end = body_lines.map(|(_, e)| e).unwrap_or(t.line);
                 tree.parallel_regions.push((pending_line.unwrap_or(t.line), end));
             }
+            // Walk back over the modifier run (`pub(crate) const unsafe
+            // extern "C" …`) to see whether this fn is `unsafe`.
+            let mut is_unsafe = false;
+            let mut back = ci;
+            while back > 0 && is_item_modifier(fa.tok(back - 1)) {
+                back -= 1;
+                if fa.tok(back).is_ident("unsafe") {
+                    is_unsafe = true;
+                }
+            }
             tree.fns.push(FnItem {
                 name,
                 self_type: impl_stack.last().and_then(|(_, ty)| ty.clone()),
                 is_hot: pending.iter().any(|a| attr_is_hot(a)),
+                is_unsafe,
+                has_target_feature: pending.iter().any(|a| attr_is_target_feature(a)),
                 line: t.line,
                 col: t.col,
                 body,
@@ -352,6 +375,19 @@ mod tests {
         let src = "#[muaa::hot]\npub(crate) const unsafe fn f() {}";
         let t = tree_of(src);
         assert!(t.fns[0].is_hot);
+        assert!(t.fns[0].is_unsafe);
+    }
+
+    #[test]
+    fn unsafe_and_target_feature_are_detected_per_fn() {
+        let src = "#[target_feature(enable = \"avx2\")]\nunsafe fn k_avx2() {}\n\
+                   pub unsafe extern \"C\" fn raw() {}\n\
+                   fn plain() { let _ = unsafe { 1 }; }";
+        let t = tree_of(src);
+        assert!(t.fns[0].has_target_feature && t.fns[0].is_unsafe);
+        assert!(!t.fns[1].has_target_feature && t.fns[1].is_unsafe);
+        // An unsafe *block* in the body does not make the fn unsafe.
+        assert!(!t.fns[2].has_target_feature && !t.fns[2].is_unsafe);
     }
 
     #[test]
